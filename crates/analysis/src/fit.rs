@@ -1,0 +1,126 @@
+//! Growth-law fitting for the paper's scaling claims.
+//!
+//! §5 concludes that the stabilisation time "increases exponentially with
+//! `k` but not exponentially with `n`" and, for fixed `k`, "more than
+//! linearly but less than exponentially with `n`". We quantify both with
+//! ordinary least squares on transformed axes:
+//!
+//! * power law `y = a·x^b` — fit `ln y` against `ln x`
+//!   ([`power_law_exponent`]); a finite, modest exponent with good fit
+//!   supports "polynomial in n".
+//! * exponential `y = a·c^x` — fit `ln y` against `x`
+//!   ([`exponential_base`]); a base `c > 1` with good fit supports
+//!   "exponential in k".
+
+/// Ordinary least squares on `(x, y)`: returns `(slope, intercept, r²)`.
+///
+/// # Panics
+/// If fewer than two points are supplied or all `x` are equal.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    (slope, intercept, r2)
+}
+
+/// Fit `y = a·x^b`; returns `(b, r²)` of the log–log regression.
+/// All coordinates must be strictly positive.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> (f64, f64) {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let (slope, _, r2) = linear_fit(&logs);
+    (slope, r2)
+}
+
+/// Fit `y = a·c^x`; returns `(c, r²)` of the semi-log regression.
+/// All `y` must be strictly positive.
+pub fn exponential_base(points: &[(f64, f64)]) -> (f64, f64) {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(y > 0.0, "exponential fit needs positive y");
+            (x, y.ln())
+        })
+        .collect();
+    let (slope, _, r2) = linear_fit(&logs);
+    (slope.exp(), r2)
+}
+
+/// Successive growth ratios `y[i+1] / y[i]` — the raw signal behind
+/// "exponential in k" (ratios roughly constant and > 1) versus
+/// "polynomial in n" (ratios decaying toward 1).
+pub fn growth_ratios(ys: &[f64]) -> Vec<f64> {
+    ys.windows(2).map(|w| w[1] / w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let (m, b, r2) = linear_fit(&pts);
+        assert!((m - 3.0).abs() < 1e-10);
+        assert!((b - 2.0).abs() < 1e-10);
+        assert!((r2 - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 5.0 * (i as f64).powf(2.5))).collect();
+        let (b, r2) = power_law_exponent(&pts);
+        assert!((b - 2.5).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn exponential_recovers_base() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 0.5 * 3.0f64.powi(i))).collect();
+        let (c, r2) = exponential_base(&pts);
+        assert!((c - 3.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn growth_ratios_shape() {
+        let r = growth_ratios(&[1.0, 2.0, 8.0]);
+        assert_eq!(r, vec![2.0, 4.0]);
+        assert!(growth_ratios(&[1.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn vertical_data_rejected() {
+        linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

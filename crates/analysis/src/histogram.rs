@@ -1,0 +1,181 @@
+//! Histograms and ASCII rendering.
+//!
+//! The paper reports only means; the stabilisation-time distribution is
+//! heavily right-skewed (a run that spawns many colliding chains pays for
+//! every unwind), so the harness also reports histograms. Fixed-width
+//! binning over the observed range, plus a terminal renderer used by the
+//! `distributions` binary.
+
+use std::fmt::Write as _;
+
+/// A fixed-bin histogram over `f64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+    /// Samples outside `[lo, hi]` (possible when bounds are supplied).
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Histogram with `num_bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If `num_bins = 0` or `lo ≥ hi`.
+    pub fn with_bounds(lo: f64, hi: f64, num_bins: usize) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        assert!(lo < hi, "empty range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; num_bins],
+            count: 0,
+            outliers: 0,
+        }
+    }
+
+    /// Histogram fitted to the sample range (a closed range widened by a
+    /// hair so the maximum lands in the last bin).
+    ///
+    /// # Panics
+    /// If the sample is empty.
+    pub fn fit(samples: &[f64], num_bins: usize) -> Self {
+        assert!(!samples.is_empty(), "cannot fit an empty sample");
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if lo == hi { lo + 1.0 } else { hi * (1.0 + 1e-12) + 1e-12 };
+        let mut h = Histogram::with_bounds(lo, hi, num_bins);
+        for &x in samples {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((x - self.lo) / w) as usize;
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// In-range sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples that fell outside the bounds.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Render as ASCII rows `lo..hi | ####### count`.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            let _ = writeln!(out, "{lo:>12.0} … {hi:>12.0} |{bar:<width$}| {c}");
+        }
+        if self.outliers > 0 {
+            let _ = writeln!(out, "({} samples out of range)", self.outliers);
+        }
+        out
+    }
+}
+
+/// One-line sparkline (unicode block elements), handy in tables.
+pub fn sparkline(values: &[u64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return BLOCKS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| BLOCKS[((v * 7) / max) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_covers_all_samples() {
+        let h = Histogram::fit(&[1.0, 2.0, 3.0, 4.0, 100.0], 5);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.outliers(), 0);
+        assert_eq!(h.bins().iter().sum::<u64>(), 5);
+        // The maximum lands in the last bin.
+        assert!(h.bins()[4] >= 1);
+    }
+
+    #[test]
+    fn constant_sample_fits() {
+        let h = Histogram::fit(&[7.0, 7.0, 7.0], 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins()[0], 3);
+    }
+
+    #[test]
+    fn bounds_and_outliers() {
+        let mut h = Histogram::with_bounds(0.0, 10.0, 2);
+        h.add(1.0);
+        h.add(6.0);
+        h.add(42.0);
+        h.add(-3.0);
+        assert_eq!(h.bins(), &[1, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.bin_range(0), (0.0, 5.0));
+        assert_eq!(h.bin_range(1), (5.0, 10.0));
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let h = Histogram::fit(&[1.0, 1.5, 9.0], 2);
+        let s = h.to_ascii(10);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("##"));
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0, 1, 2, 4, 8]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn fit_empty_panics() {
+        Histogram::fit(&[], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::with_bounds(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Parallel trial fan-out.
+//!
+//! [`run_trials`] reproduces the paper's methodology: `trials` independent
+//! executions of a protocol from its initial configuration under the
+//! uniform random scheduler, each stopping at the supplied stability
+//! criterion, returning the per-trial interaction counts. Trials are
+//! mapped over a rayon thread pool; determinism is preserved because trial
+//! `i`'s RNG seed is `seeds::derive(master_seed, i)` regardless of which
+//! thread runs it.
+
+use pp_engine::population::CountPopulation;
+use pp_engine::protocol::CompiledProtocol;
+use pp_engine::scheduler::UniformRandomScheduler;
+use pp_engine::seeds;
+use pp_engine::simulator::{RunError, Simulator};
+use pp_engine::stability::StabilityCriterion;
+use rayon::prelude::*;
+
+/// Configuration of a trial batch.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialConfig {
+    /// Number of independent executions (the paper uses 100).
+    pub trials: usize,
+    /// Master seed; trial `i` runs with `derive(master_seed, i)`.
+    pub master_seed: u64,
+    /// Per-trial interaction budget; runs exceeding it are reported as
+    /// censored rather than aborting the batch.
+    pub max_interactions: u64,
+}
+
+impl TrialConfig {
+    /// The paper's default: 100 trials.
+    pub fn paper_default(master_seed: u64, max_interactions: u64) -> Self {
+        TrialConfig {
+            trials: 100,
+            master_seed,
+            max_interactions,
+        }
+    }
+}
+
+/// Outcome of a trial batch.
+#[derive(Clone, Debug)]
+pub struct TrialBatch {
+    /// Interactions-to-stability of every *completed* trial, in trial
+    /// order (censored trials omitted).
+    pub interactions: Vec<u64>,
+    /// Number of trials that hit the interaction budget.
+    pub censored: usize,
+}
+
+impl TrialBatch {
+    /// Mean interactions over completed trials (the paper's reported
+    /// statistic).
+    ///
+    /// # Panics
+    /// If every trial was censored.
+    pub fn mean(&self) -> f64 {
+        assert!(
+            !self.interactions.is_empty(),
+            "all trials censored — raise max_interactions"
+        );
+        self.interactions.iter().sum::<u64>() as f64 / self.interactions.len() as f64
+    }
+
+    /// Full summary statistics over completed trials.
+    pub fn summary(&self) -> crate::stats::Summary {
+        crate::stats::Summary::of_u64(&self.interactions)
+    }
+}
+
+/// Run `cfg.trials` independent executions of `proto` with `n` agents
+/// (all starting in the initial state) and the given stability criterion,
+/// in parallel. See module docs for the determinism guarantee.
+pub fn run_trials<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    cfg: TrialConfig,
+) -> TrialBatch
+where
+    C: StabilityCriterion + Sync,
+{
+    let results: Vec<Result<u64, RunError>> = (0..cfg.trials as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut pop = CountPopulation::new(proto, n);
+            let mut sched =
+                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
+            Simulator::new(proto)
+                .run(&mut pop, &mut sched, criterion, cfg.max_interactions)
+                .map(|r| r.interactions)
+        })
+        .collect();
+    let mut interactions = Vec::with_capacity(results.len());
+    let mut censored = 0;
+    for r in results {
+        match r {
+            Ok(x) => interactions.push(x),
+            Err(RunError::InteractionLimit { .. }) => censored += 1,
+            Err(e) => panic!("trial failed: {e}"),
+        }
+    }
+    TrialBatch {
+        interactions,
+        censored,
+    }
+}
+
+/// Like [`run_trials`] but additionally records, per trial, the
+/// interaction number at which each increment of `watched_state`
+/// occurred — the paper's Figure 4 instrumentation (watch `g_k`; its
+/// `i`-th increment marks completion of the `i`-th grouping).
+pub fn run_trials_watching<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    watched_state: pp_engine::protocol::StateId,
+    cfg: TrialConfig,
+) -> Vec<WatchedTrial>
+where
+    C: StabilityCriterion + Sync,
+{
+    (0..cfg.trials as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut pop = CountPopulation::new(proto, n);
+            let mut sched =
+                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
+            let mut obs = pp_engine::observer::GroupCompletionObserver::new(watched_state);
+            let res = Simulator::new(proto).run_observed(
+                &mut pop,
+                &mut sched,
+                criterion,
+                cfg.max_interactions,
+                &mut obs,
+            );
+            match res {
+                Ok(r) => WatchedTrial {
+                    total: Some(r.interactions),
+                    completions: obs.into_completions(),
+                },
+                Err(RunError::InteractionLimit { .. }) => WatchedTrial {
+                    total: None,
+                    completions: obs.into_completions(),
+                },
+                Err(e) => panic!("trial failed: {e}"),
+            }
+        })
+        .collect()
+}
+
+/// One instrumented trial: completion times of each watched-state
+/// increment, plus the total if the run stabilised.
+#[derive(Clone, Debug)]
+pub struct WatchedTrial {
+    /// Total interactions to stability; `None` if censored.
+    pub total: Option<u64>,
+    /// `completions[i]` = interaction at which the watched count first
+    /// reached `i + 1`.
+    pub completions: Vec<u64>,
+}
+
+/// One trial's full outcome: interaction count and the final
+/// configuration (available even for censored runs, whose `interactions`
+/// is `None`).
+#[derive(Clone, Debug)]
+pub struct TrialOutcome {
+    /// Interactions to stability; `None` if the budget was hit.
+    pub interactions: Option<u64>,
+    /// Final count vector.
+    pub final_counts: Vec<u64>,
+}
+
+/// Like [`run_trials`] but returning each trial's final configuration as
+/// well — used by baseline comparisons that measure *uniformity* (group
+/// sizes) of the stable outcome, not just its cost.
+pub fn run_trials_full<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    cfg: TrialConfig,
+) -> Vec<TrialOutcome>
+where
+    C: StabilityCriterion + Sync,
+{
+    (0..cfg.trials as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut pop = CountPopulation::new(proto, n);
+            let mut sched =
+                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
+            let res = Simulator::new(proto).run(
+                &mut pop,
+                &mut sched,
+                criterion,
+                cfg.max_interactions,
+            );
+            use pp_engine::population::Population;
+            TrialOutcome {
+                interactions: match res {
+                    Ok(r) => Some(r.interactions),
+                    Err(RunError::InteractionLimit { .. }) => None,
+                    Err(e) => panic!("trial failed: {e}"),
+                },
+                final_counts: pop.counts().to_vec(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::spec::ProtocolSpec;
+    use pp_engine::stability::Silent;
+
+    fn two_phase() -> (CompiledProtocol, pp_engine::protocol::StateId) {
+        // (a, a) -> (b, b): pairs settle; odd agent remains. Watched: b.
+        let mut spec = ProtocolSpec::new("pairing");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        (spec.compile().unwrap(), b)
+    }
+
+    #[test]
+    fn trials_are_deterministic_in_master_seed() {
+        let (p, _) = two_phase();
+        let cfg = TrialConfig {
+            trials: 16,
+            master_seed: 99,
+            max_interactions: 1_000_000,
+        };
+        let a = run_trials(&p, 11, &Silent, cfg);
+        let b = run_trials(&p, 11, &Silent, cfg);
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.censored, 0);
+        assert_eq!(a.interactions.len(), 16);
+        // Different master seed gives a different batch.
+        let c = run_trials(
+            &p,
+            11,
+            &Silent,
+            TrialConfig {
+                master_seed: 100,
+                ..cfg
+            },
+        );
+        assert_ne!(a.interactions, c.interactions);
+    }
+
+    #[test]
+    fn censoring_counts_budget_hits() {
+        let (p, _) = two_phase();
+        let cfg = TrialConfig {
+            trials: 8,
+            master_seed: 1,
+            max_interactions: 1, // absurdly tight: n=11 needs ≥ 5 pairings
+        };
+        let batch = run_trials(&p, 11, &Silent, cfg);
+        assert_eq!(batch.censored, 8);
+        assert!(batch.interactions.is_empty());
+    }
+
+    #[test]
+    fn watching_records_monotone_completions() {
+        let (p, b) = two_phase();
+        let cfg = TrialConfig {
+            trials: 4,
+            master_seed: 5,
+            max_interactions: 1_000_000,
+        };
+        let trials = run_trials_watching(&p, 10, &Silent, b, cfg);
+        for t in &trials {
+            let total = t.total.expect("not censored");
+            // 10 agents -> 5 pairings -> watched count reaches 10.
+            assert_eq!(t.completions.len(), 10);
+            assert!(t.completions.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(*t.completions.last().unwrap(), total);
+        }
+    }
+
+    #[test]
+    fn batch_mean_and_summary_agree() {
+        let batch = TrialBatch {
+            interactions: vec![10, 20, 30],
+            censored: 0,
+        };
+        assert!((batch.mean() - 20.0).abs() < 1e-12);
+        assert!((batch.summary().mean - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Engine micro-benchmarks: the hot-loop primitives whose cost
+//! multiplies into every experiment — weighted pair sampling, the
+//! interaction step for both population representations, and the
+//! stability criteria.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_engine::population::{AgentPopulation, CountPopulation, Population};
+use pp_engine::scheduler::{AgentScheduler, PairScheduler, UniformRandomScheduler};
+use pp_engine::simulator::Simulator;
+use pp_engine::stability::{GroupClosure, Never, Signature, Silent, StabilityCriterion};
+use pp_protocols::kpartition::UniformKPartition;
+use std::hint::black_box;
+
+/// 10k interactions of the k-partition protocol on the count
+/// representation, across k (state-count scaling of the sampler's O(|Q|)
+/// scan).
+fn count_population_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count_steps_10k");
+    for &k in &[4usize, 8, 16] {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, _| {
+            b.iter(|| {
+                let mut pop = CountPopulation::new(&proto, 960);
+                let mut sched = UniformRandomScheduler::from_seed(1);
+                Simulator::new(&proto).run_fixed(
+                    &mut pop,
+                    &mut sched,
+                    10_000,
+                    &mut pp_engine::observer::NullObserver,
+                );
+                black_box(pop.counts()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same 10k interactions on the per-agent representation.
+fn agent_population_steps(c: &mut Criterion) {
+    let kp = UniformKPartition::new(8);
+    let proto = kp.compile();
+    c.bench_function("agent_steps_10k_k8", |b| {
+        b.iter(|| {
+            let mut pop = AgentPopulation::new(&proto, 960);
+            let mut sched = UniformRandomScheduler::from_seed(1);
+            let _ = Simulator::new(&proto).run_agents(&mut pop, &mut sched, &Never, 10_000);
+            black_box(pop.counts()[0])
+        })
+    });
+}
+
+/// Raw sampling cost (no transition application).
+fn pair_sampling(c: &mut Criterion) {
+    let kp = UniformKPartition::new(8);
+    let proto = kp.compile();
+    let mut pop = CountPopulation::new(&proto, 960);
+    // Spread agents over several states so the scan does real work.
+    pop.set_count(kp.initial(), 300);
+    pop.set_count(kp.g(1), 200);
+    pop.set_count(kp.g(8), 200);
+    pop.set_count(kp.m(2), 260);
+    let apop = AgentPopulation::new(&proto, 960);
+    c.bench_function("sample_pair_count", |b| {
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        b.iter(|| black_box(sched.select_pair(&pop)))
+    });
+    c.bench_function("sample_pair_agent", |b| {
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        b.iter(|| black_box(sched.select_agents(&apop)))
+    });
+}
+
+/// Stability criteria on a mid-run configuration: the Signature check is
+/// the per-effective-interaction cost of every figure run; Silent and
+/// GroupClosure are the generic alternatives.
+fn stability_checks(c: &mut Criterion) {
+    let kp = UniformKPartition::new(8);
+    let proto = kp.compile();
+    let mut pop = CountPopulation::new(&proto, 960);
+    pop.set_count(kp.initial(), 400);
+    pop.set_count(kp.g(1), 280);
+    pop.set_count(kp.m(2), 280);
+    let sig = kp.stable_signature(960);
+    c.bench_function("criterion_signature", |b| {
+        b.iter(|| black_box(sig.is_stable(&proto, pop.counts())))
+    });
+    c.bench_function("criterion_silent", |b| {
+        b.iter(|| black_box(Silent.is_stable(&proto, pop.counts())))
+    });
+    c.bench_function("criterion_group_closure", |b| {
+        let gc = GroupClosure::default();
+        b.iter(|| black_box(gc.is_stable(&proto, pop.counts())))
+    });
+    // And at the stable configuration, where the closure search actually
+    // runs (r = 0 here, so the closure is a single configuration).
+    let mut stable = CountPopulation::new(&proto, 0);
+    for x in 1..=8 {
+        stable.set_count(kp.g(x), 120);
+    }
+    c.bench_function("criterion_group_closure_at_stable", |b| {
+        let gc = GroupClosure::default();
+        b.iter(|| black_box(gc.is_stable(&proto, stable.counts())))
+    });
+    let _ = Signature::exact(vec![0; proto.num_states()]);
+}
+
+/// Protocol compilation cost (table construction), across k.
+fn compilation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    for &k in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
+            b.iter(|| black_box(UniformKPartition::new(k).compile()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    count_population_steps,
+    agent_population_steps,
+    pair_sampling,
+    stability_checks,
+    compilation
+);
+criterion_main!(benches);

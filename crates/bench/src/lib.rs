@@ -1,0 +1,10 @@
+//! # pp-bench — experiment reproduction harness
+//!
+//! One binary per paper artifact (see `src/bin/`): `fig3`, `fig4`,
+//! `fig5`, `fig6`, `ablation_d_states`, `baselines`. Each prints markdown
+//! tables and writes CSV under `results/`. Criterion micro-benchmarks
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod common;

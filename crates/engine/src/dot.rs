@@ -1,0 +1,165 @@
+//! GraphViz (DOT) export for protocols and configuration graphs.
+//!
+//! Two views matter when studying a protocol like uniform k-partition:
+//!
+//! * the **rule graph** ([`protocol_dot`]) — states as nodes (clustered
+//!   by group under `f`), one edge per non-identity ordered rule,
+//!   labelled with the partner state: the paper's Algorithm 1 as a
+//!   picture;
+//! * the **configuration graph** ([`config_graph_dot`], fed by
+//!   `pp-verify`) — configurations as nodes, transitions as edges,
+//!   terminal/stable nodes highlighted: the object global fairness
+//!   quantifies over.
+//!
+//! Both emit plain DOT text; render with `dot -Tsvg`.
+
+use crate::protocol::CompiledProtocol;
+use std::fmt::Write as _;
+
+/// Render the protocol's non-identity rules as a DOT digraph.
+///
+/// Each non-identity ordered rule `(p, q) → (p2, q2)` contributes an edge
+/// `p → p2` labelled `"q / q2"` (what the partner was and became). States
+/// are grouped into clusters by their `f` value, so the k groups of a
+/// partition protocol appear as k boxes.
+pub fn protocol_dot(proto: &CompiledProtocol) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", proto.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=11];");
+
+    // Clusters by group.
+    for g in 1..=proto.num_groups() {
+        let members: Vec<_> = proto
+            .states()
+            .filter(|&s| proto.group_of(s).number() == g)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  subgraph cluster_g{g} {{");
+        let _ = writeln!(out, "    label=\"group {g}\"; style=dashed;");
+        for s in members {
+            let shape = if s == proto.initial_state() {
+                ", shape=doublecircle"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\" [label=\"{}\"{shape}];",
+                proto.state_name(s),
+                proto.state_name(s)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for (p, q, p2, q2) in proto.non_identity_rules() {
+        if p2 != p {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{} / {}\", fontsize=9];",
+                proto.state_name(p),
+                proto.state_name(p2),
+                proto.state_name(q),
+                proto.state_name(q2),
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a configuration graph (nodes given as pretty-printed labels and
+/// edges as index pairs) as DOT. `stable` marks nodes to highlight.
+///
+/// This is deliberately decoupled from `pp-verify`'s `ConfigGraph` type
+/// (which lives downstream of this crate); callers pass the pieces:
+///
+/// ```
+/// use pp_engine::dot::config_graph_dot;
+/// let dot = config_graph_dot(
+///     "mini",
+///     &["3·a".to_string(), "1·a 2·b".to_string()],
+///     &[(0, 1)],
+///     &[false, true],
+/// );
+/// assert!(dot.contains("\"c0\" -> \"c1\""));
+/// ```
+pub fn config_graph_dot(
+    name: &str,
+    labels: &[String],
+    edges: &[(u32, u32)],
+    stable: &[bool],
+) -> String {
+    assert_eq!(labels.len(), stable.len());
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for (i, label) in labels.iter().enumerate() {
+        let style = if stable[i] {
+            ", style=filled, fillcolor=lightgreen"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"c{i}\" [label=\"{label}\"{style}];");
+    }
+    for &(a, b) in edges {
+        let _ = writeln!(out, "  \"c{a}\" -> \"c{b}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+
+    fn toy() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("toy");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(a, b, b, b);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn protocol_dot_contains_states_rules_and_clusters() {
+        let dot = protocol_dot(&toy());
+        assert!(dot.starts_with("digraph \"toy\""));
+        assert!(dot.contains("subgraph cluster_g1"));
+        assert!(dot.contains("subgraph cluster_g2"));
+        assert!(dot.contains("doublecircle")); // initial state marker
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn protocol_dot_omits_identity_rules() {
+        let dot = protocol_dot(&toy());
+        // b never changes state: no outgoing edge from b.
+        assert!(!dot.contains("\"b\" -> "));
+    }
+
+    #[test]
+    fn config_graph_dot_marks_stable_nodes() {
+        let dot = config_graph_dot(
+            "g",
+            &["x".into(), "y".into()],
+            &[(0, 1), (1, 1)],
+            &[false, true],
+        );
+        assert!(dot.contains("\"c1\" [label=\"y\", style=filled"));
+        assert!(dot.contains("\"c0\" -> \"c1\""));
+        assert!(dot.contains("\"c1\" -> \"c1\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        config_graph_dot("g", &["x".into()], &[], &[true, false]);
+    }
+}

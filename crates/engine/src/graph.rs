@@ -1,0 +1,229 @@
+//! Interaction graphs.
+//!
+//! The paper (like most population-protocol work following Angluin et al.)
+//! assumes a *complete* interaction graph: any two agents may interact.
+//! The engine nevertheless supports restricted interaction graphs for the
+//! per-agent representation, both to demonstrate the framework's
+//! generality and because the protocol's correctness argument genuinely
+//! depends on completeness (global fairness quantifies over transitions the
+//! graph permits) — a ring, for instance, can strand chain-builder agents.
+//! Tests use this to show *where* the complete-graph assumption bites.
+
+use crate::population::{AgentPopulation, Population};
+use crate::scheduler::AgentScheduler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected interaction graph over agent indices `0..n`.
+#[derive(Clone, Debug)]
+pub enum InteractionGraph {
+    /// Every pair of distinct agents may interact (the paper's model).
+    Complete {
+        /// Number of agents.
+        n: usize,
+    },
+    /// Only the listed undirected edges may interact.
+    Explicit {
+        /// Number of agents.
+        n: usize,
+        /// Undirected edges `(u, v)`, `u ≠ v`.
+        edges: Vec<(u32, u32)>,
+    },
+}
+
+impl InteractionGraph {
+    /// The complete graph on `n` agents.
+    pub fn complete(n: usize) -> Self {
+        InteractionGraph::Complete { n }
+    }
+
+    /// A cycle `0 — 1 — … — (n−1) — 0`. Requires `n ≥ 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 agents");
+        let edges = (0..n as u32)
+            .map(|u| (u, (u + 1) % n as u32))
+            .collect();
+        InteractionGraph::Explicit { n, edges }
+    }
+
+    /// A star with agent 0 at the centre. Requires `n ≥ 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 agents");
+        let edges = (1..n as u32).map(|v| (0, v)).collect();
+        InteractionGraph::Explicit { n, edges }
+    }
+
+    /// An explicit edge list. Edges must connect distinct agents in range.
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(u != v, "self-loop ({u}, {v})");
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+        }
+        InteractionGraph::Explicit { n, edges }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        match self {
+            InteractionGraph::Complete { n } | InteractionGraph::Explicit { n, .. } => *n,
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            InteractionGraph::Complete { n } => n * (n - 1) / 2,
+            InteractionGraph::Explicit { edges, .. } => edges.len(),
+        }
+    }
+
+    /// Whether the graph is connected (a prerequisite for any nontrivial
+    /// computation to involve all agents).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_agents();
+        if n == 0 {
+            return true;
+        }
+        match self {
+            InteractionGraph::Complete { .. } => true,
+            InteractionGraph::Explicit { edges, .. } => {
+                let mut adj = vec![Vec::new(); n];
+                for &(u, v) in edges {
+                    adj[u as usize].push(v as usize);
+                    adj[v as usize].push(u as usize);
+                }
+                let mut seen = vec![false; n];
+                let mut stack = vec![0usize];
+                seen[0] = true;
+                let mut visited = 1;
+                while let Some(u) = stack.pop() {
+                    for &v in &adj[u] {
+                        if !seen[v] {
+                            seen[v] = true;
+                            visited += 1;
+                            stack.push(v);
+                        }
+                    }
+                }
+                visited == n
+            }
+        }
+    }
+}
+
+/// Uniform-random scheduler restricted to a graph: each step, an edge is
+/// chosen uniformly at random and oriented uniformly at random.
+///
+/// On the complete graph this coincides with
+/// [`crate::scheduler::UniformRandomScheduler`]'s distribution over ordered
+/// pairs.
+#[derive(Clone, Debug)]
+pub struct GraphScheduler {
+    graph: InteractionGraph,
+    rng: SmallRng,
+}
+
+impl GraphScheduler {
+    /// Scheduler over `graph`, seeded deterministically.
+    pub fn new(graph: InteractionGraph, seed: u64) -> Self {
+        assert!(graph.num_edges() > 0, "graph has no edges to schedule");
+        GraphScheduler {
+            graph,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+}
+
+impl AgentScheduler for GraphScheduler {
+    fn select_agents(&mut self, pop: &AgentPopulation) -> (usize, usize) {
+        debug_assert_eq!(
+            pop.num_agents() as usize,
+            self.graph.num_agents(),
+            "population size does not match scheduler graph"
+        );
+        let (u, v) = match &self.graph {
+            InteractionGraph::Complete { n } => {
+                let i = self.rng.gen_range(0..*n);
+                let mut j = self.rng.gen_range(0..*n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                return (i, j);
+            }
+            InteractionGraph::Explicit { edges, .. } => {
+                let e = edges[self.rng.gen_range(0..edges.len())];
+                (e.0 as usize, e.1 as usize)
+            }
+        };
+        if self.rng.gen_bool(0.5) {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+
+    #[test]
+    fn ring_and_star_shapes() {
+        let r = InteractionGraph::ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert!(r.is_connected());
+        let s = InteractionGraph::star(5);
+        assert_eq!(s.num_edges(), 4);
+        assert!(s.is_connected());
+        let c = InteractionGraph::complete(5);
+        assert_eq!(c.num_edges(), 10);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = InteractionGraph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        InteractionGraph::from_edges(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn graph_scheduler_respects_edges() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        spec.set_initial(a);
+        let p = spec.compile().unwrap();
+        let pop = AgentPopulation::new(&p, 4);
+        let mut sched = GraphScheduler::new(InteractionGraph::ring(4), 7);
+        for _ in 0..200 {
+            let (i, j) = sched.select_agents(&pop);
+            let d = (i as i64 - j as i64).rem_euclid(4);
+            assert!(d == 1 || d == 3, "non-ring pair ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn complete_graph_scheduler_covers_all_pairs() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        spec.set_initial(a);
+        let p = spec.compile().unwrap();
+        let pop = AgentPopulation::new(&p, 3);
+        let mut sched = GraphScheduler::new(InteractionGraph::complete(3), 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(sched.select_agents(&pop));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,304 @@
+//! Execution observers.
+//!
+//! An [`Observer`] receives every interaction the simulator performs. The
+//! hook is generic and monomorphised, so the no-op [`NullObserver`]
+//! vanishes from the hot loop entirely. Observers power the paper's
+//! Figure 4 (interactions per *i-th grouping*: the simulator watches the
+//! count of `g_k` — each increment marks the completion of one full set
+//! `g_1..g_k`) and the trace renderings of Figures 1–2.
+
+use crate::protocol::StateId;
+
+/// Receives interaction events from the simulator.
+pub trait Observer {
+    /// Called after interaction number `step` (1-based) has been applied.
+    ///
+    /// `(p, q) → (p2, q2)` is the transition performed (possibly the
+    /// identity) and `counts` is the configuration *after* the interaction.
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        counts: &[u64],
+    );
+}
+
+/// Observer that does nothing; compiles away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline(always)]
+    fn on_interaction(
+        &mut self,
+        _step: u64,
+        _p: StateId,
+        _q: StateId,
+        _p2: StateId,
+        _q2: StateId,
+        _counts: &[u64],
+    ) {
+    }
+}
+
+/// Records the interaction number at which the count of a watched state
+/// increases — for the k-partition protocol, watching `g_k` yields the
+/// grouping-completion times `NI_1, NI_2, …` of the paper's Figure 4.
+///
+/// Note `#g_k` is non-decreasing for the paper's protocol (no rule consumes
+/// `g_k`), so increments are exactly the grouping completions; the observer
+/// nevertheless handles decrements correctly for other protocols by
+/// recording only *new maxima*.
+#[derive(Clone, Debug)]
+pub struct GroupCompletionObserver {
+    watched: StateId,
+    max_seen: u64,
+    completions: Vec<u64>,
+}
+
+impl GroupCompletionObserver {
+    /// Watch increments of `watched` (e.g. the `g_k` state).
+    pub fn new(watched: StateId) -> Self {
+        GroupCompletionObserver {
+            watched,
+            max_seen: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    /// `completions[i]` is the interaction count `NI_{i+1}` at which the
+    /// watched state's count first reached `i + 1`.
+    pub fn completions(&self) -> &[u64] {
+        &self.completions
+    }
+
+    /// Consume the observer, returning the completion times.
+    pub fn into_completions(self) -> Vec<u64> {
+        self.completions
+    }
+}
+
+impl Observer for GroupCompletionObserver {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        _p: StateId,
+        _q: StateId,
+        _p2: StateId,
+        _q2: StateId,
+        counts: &[u64],
+    ) {
+        let c = counts[self.watched.index()];
+        while self.max_seen < c {
+            self.max_seen += 1;
+            self.completions.push(step);
+        }
+    }
+}
+
+/// Records full configurations after every *state-changing* interaction
+/// (identity interactions repeat the previous configuration and are
+/// skipped), up to a cap. Used to render example executions.
+#[derive(Clone, Debug)]
+pub struct ConfigurationRecorder {
+    /// Recorded count vectors, starting configuration excluded.
+    configs: Vec<Vec<u64>>,
+    /// Transitions `(step, p, q, p2, q2)` that produced each configuration.
+    transitions: Vec<(u64, StateId, StateId, StateId, StateId)>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl ConfigurationRecorder {
+    /// Record at most `cap` configurations; further ones are counted but
+    /// dropped (see [`Self::truncated`]).
+    pub fn with_capacity(cap: usize) -> Self {
+        ConfigurationRecorder {
+            configs: Vec::new(),
+            transitions: Vec::new(),
+            cap,
+            truncated: false,
+        }
+    }
+
+    /// Recorded configurations (after each state-changing interaction).
+    pub fn configs(&self) -> &[Vec<u64>] {
+        &self.configs
+    }
+
+    /// The transition that produced each recorded configuration.
+    pub fn transitions(&self) -> &[(u64, StateId, StateId, StateId, StateId)] {
+        &self.transitions
+    }
+
+    /// Whether the cap was hit and later configurations were dropped.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl Observer for ConfigurationRecorder {
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        counts: &[u64],
+    ) {
+        if p == p2 && q == q2 {
+            return;
+        }
+        if self.configs.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.configs.push(counts.to_vec());
+        self.transitions.push((step, p, q, p2, q2));
+    }
+}
+
+/// Samples the full count vector every `period` interactions — the raw
+/// material for trajectory plots (e.g. "#g_k over time", the ratchet the
+/// paper's Lemma 4 describes). Sampling by period keeps memory
+/// proportional to `interactions / period` regardless of run length.
+#[derive(Clone, Debug)]
+pub struct TrajectorySampler {
+    period: u64,
+    /// `(interaction, counts)` samples, in order.
+    samples: Vec<(u64, Vec<u64>)>,
+}
+
+impl TrajectorySampler {
+    /// Sample every `period` interactions (`period ≥ 1`).
+    pub fn every(period: u64) -> Self {
+        assert!(period >= 1, "sampling period must be at least 1");
+        TrajectorySampler {
+            period,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The recorded `(interaction, counts)` samples.
+    pub fn samples(&self) -> &[(u64, Vec<u64>)] {
+        &self.samples
+    }
+
+    /// Project the trajectory onto one state's count.
+    pub fn series_of(&self, s: StateId) -> Vec<(u64, u64)> {
+        self.samples
+            .iter()
+            .map(|(t, c)| (*t, c[s.index()]))
+            .collect()
+    }
+}
+
+impl Observer for TrajectorySampler {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        _p: StateId,
+        _q: StateId,
+        _p2: StateId,
+        _q2: StateId,
+        counts: &[u64],
+    ) {
+        if step % self.period == 0 {
+            self.samples.push((step, counts.to_vec()));
+        }
+    }
+}
+
+/// Chains two observers.
+#[derive(Clone, Debug, Default)]
+pub struct Chain<A, B>(
+    /// First observer (called first).
+    pub A,
+    /// Second observer.
+    pub B,
+);
+
+impl<A: Observer, B: Observer> Observer for Chain<A, B> {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        counts: &[u64],
+    ) {
+        self.0.on_interaction(step, p, q, p2, q2, counts);
+        self.1.on_interaction(step, p, q, p2, q2, counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_completion_records_new_maxima_once() {
+        let mut obs = GroupCompletionObserver::new(StateId(0));
+        let s = StateId(1);
+        obs.on_interaction(1, s, s, s, s, &[0, 2]);
+        obs.on_interaction(2, s, s, s, s, &[1, 1]); // first completion
+        obs.on_interaction(3, s, s, s, s, &[1, 1]); // no change
+        obs.on_interaction(4, s, s, s, s, &[0, 2]); // dip (hypothetical)
+        obs.on_interaction(5, s, s, s, s, &[1, 1]); // not a new max
+        obs.on_interaction(6, s, s, s, s, &[3, 0]); // jumps by two
+        assert_eq!(obs.completions(), &[2, 6, 6]);
+    }
+
+    #[test]
+    fn recorder_skips_identities_and_caps() {
+        let mut rec = ConfigurationRecorder::with_capacity(2);
+        let a = StateId(0);
+        let b = StateId(1);
+        rec.on_interaction(1, a, a, a, a, &[2, 0]); // identity: skipped
+        rec.on_interaction(2, a, a, b, b, &[0, 2]);
+        rec.on_interaction(3, b, b, a, a, &[2, 0]);
+        rec.on_interaction(4, a, a, b, b, &[0, 2]); // over cap
+        assert_eq!(rec.configs().len(), 2);
+        assert!(rec.truncated());
+        assert_eq!(rec.transitions()[0].0, 2);
+    }
+
+    #[test]
+    fn trajectory_sampler_periods() {
+        let mut t = TrajectorySampler::every(3);
+        let s = StateId(0);
+        for step in 1..=10 {
+            t.on_interaction(step, s, s, s, s, &[step, 0]);
+        }
+        let steps: Vec<u64> = t.samples().iter().map(|(st, _)| *st).collect();
+        assert_eq!(steps, vec![3, 6, 9]);
+        assert_eq!(t.series_of(StateId(0)), vec![(3, 3), (6, 6), (9, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_period_rejected() {
+        TrajectorySampler::every(0);
+    }
+
+    #[test]
+    fn chain_calls_both() {
+        let mut chained = Chain(
+            GroupCompletionObserver::new(StateId(0)),
+            ConfigurationRecorder::with_capacity(8),
+        );
+        let a = StateId(0);
+        let b = StateId(1);
+        chained.on_interaction(1, b, b, a, a, &[2, 0]);
+        assert_eq!(chained.0.completions(), &[1, 1]);
+        assert_eq!(chained.1.configs().len(), 1);
+    }
+}

@@ -1,0 +1,366 @@
+//! Compiled protocols: dense transition tables with precomputed masks.
+//!
+//! A population protocol is a pair `(Q, δ)` together with a designated
+//! initial state and an output map `f : Q → {1..k}`. This module stores `δ`
+//! as a dense `|Q| × |Q|` table of ordered-pair results, which makes a
+//! single interaction an O(1) lookup and lets us precompute, for every
+//! ordered pair, whether the transition is an *identity* (changes neither
+//! state) and whether it is *group-changing* (changes `f` of at least one
+//! participant). Those masks power the O(1)-amortised stability checks in
+//! [`crate::stability`].
+
+use std::fmt;
+
+/// Index of a state in a compiled protocol's state set `Q`.
+///
+/// States are small (`3k − 2` for the paper's protocol), so a `u16` is
+/// ample; keeping the index narrow keeps transition-table rows cache-dense.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u16);
+
+impl StateId {
+    /// The state index as a `usize`, for table lookups.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A group label in `{1, .., k}`, the codomain of the output map `f`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GroupId(pub u16);
+
+impl GroupId {
+    /// The group as a 1-based number, matching the paper's notation.
+    #[inline(always)]
+    pub fn number(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Errors detected while validating a protocol description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// No initial state was designated.
+    MissingInitialState,
+    /// The protocol has no states at all.
+    EmptyStateSet,
+    /// Two rules were given for the same ordered pair with different results.
+    ConflictingRule {
+        /// First state of the ordered pair.
+        p: StateId,
+        /// Second state of the ordered pair.
+        q: StateId,
+    },
+    /// A rule references a state id outside the state set.
+    StateOutOfRange(StateId),
+    /// A symmetric-protocol check failed: `δ(p, p) = (p', q')` with `p' ≠ q'`.
+    AsymmetricTransition {
+        /// The state interacting with itself.
+        p: StateId,
+    },
+    /// A group label of 0 was used (groups are 1-based, as in the paper).
+    ZeroGroup(StateId),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MissingInitialState => write!(f, "no designated initial state"),
+            ProtocolError::EmptyStateSet => write!(f, "protocol has no states"),
+            ProtocolError::ConflictingRule { p, q } => {
+                write!(f, "conflicting transition rules for pair ({p:?}, {q:?})")
+            }
+            ProtocolError::StateOutOfRange(s) => write!(f, "state {s:?} out of range"),
+            ProtocolError::AsymmetricTransition { p } => {
+                write!(f, "asymmetric transition on pair ({p:?}, {p:?})")
+            }
+            ProtocolError::ZeroGroup(s) => {
+                write!(f, "state {s:?} mapped to group 0 (groups are 1-based)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A fully validated, dense-table population protocol.
+///
+/// Construct via [`crate::spec::ProtocolSpec::compile`]. The table stores
+/// the result of `δ(p, q)` for every *ordered* pair `(p, q)`; pairs for
+/// which no rule was declared default to the identity `(p, q)`, matching
+/// the convention of the paper (unlisted interactions are null).
+pub struct CompiledProtocol {
+    name: String,
+    state_names: Vec<String>,
+    groups: Vec<GroupId>,
+    num_groups: usize,
+    initial: StateId,
+    /// Row-major `|Q| × |Q|` table of ordered-pair results.
+    table: Vec<(StateId, StateId)>,
+    /// `identity[p * S + q]` is true iff `δ(p, q) = (p, q)`.
+    identity: Vec<bool>,
+    /// `group_changing[p * S + q]` is true iff `δ(p, q)` changes `f` of
+    /// either participant.
+    group_changing: Vec<bool>,
+    symmetric: bool,
+}
+
+impl CompiledProtocol {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        state_names: Vec<String>,
+        groups: Vec<GroupId>,
+        initial: StateId,
+        table: Vec<(StateId, StateId)>,
+    ) -> Result<Self, ProtocolError> {
+        let s = state_names.len();
+        if s == 0 {
+            return Err(ProtocolError::EmptyStateSet);
+        }
+        if initial.index() >= s {
+            return Err(ProtocolError::StateOutOfRange(initial));
+        }
+        debug_assert_eq!(table.len(), s * s);
+        for (g, id) in groups.iter().zip(0u16..) {
+            if g.0 == 0 {
+                return Err(ProtocolError::ZeroGroup(StateId(id)));
+            }
+        }
+        let num_groups = groups.iter().map(|g| g.number()).max().unwrap_or(0);
+        let mut identity = vec![false; s * s];
+        let mut group_changing = vec![false; s * s];
+        let mut symmetric = true;
+        for p in 0..s {
+            for q in 0..s {
+                let (p2, q2) = table[p * s + q];
+                if p2.index() >= s {
+                    return Err(ProtocolError::StateOutOfRange(p2));
+                }
+                if q2.index() >= s {
+                    return Err(ProtocolError::StateOutOfRange(q2));
+                }
+                identity[p * s + q] = p2.index() == p && q2.index() == q;
+                group_changing[p * s + q] =
+                    groups[p2.index()] != groups[p] || groups[q2.index()] != groups[q];
+                if p == q && p2 != q2 {
+                    symmetric = false;
+                }
+            }
+        }
+        Ok(CompiledProtocol {
+            name,
+            state_names,
+            groups,
+            num_groups,
+            initial,
+            table,
+            identity,
+            group_changing,
+            symmetric,
+        })
+    }
+
+    /// Human-readable protocol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states `|Q|`.
+    #[inline(always)]
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Largest group number used by the output map (the `k` of k-partition).
+    #[inline(always)]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// The designated initial state `s0`.
+    #[inline(always)]
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// Name of state `s`.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.state_names[s.index()]
+    }
+
+    /// Look up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.state_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| StateId(i as u16))
+    }
+
+    /// The output map `f`: group of state `s`.
+    #[inline(always)]
+    pub fn group_of(&self, s: StateId) -> GroupId {
+        self.groups[s.index()]
+    }
+
+    /// The transition function `δ` on the ordered pair `(p, q)`.
+    #[inline(always)]
+    pub fn delta(&self, p: StateId, q: StateId) -> (StateId, StateId) {
+        self.table[p.index() * self.num_states() + q.index()]
+    }
+
+    /// Whether `δ(p, q)` is the identity (a *null* interaction).
+    #[inline(always)]
+    pub fn is_identity(&self, p: StateId, q: StateId) -> bool {
+        self.identity[p.index() * self.num_states() + q.index()]
+    }
+
+    /// Whether `δ(p, q)` changes the group (under `f`) of either agent.
+    #[inline(always)]
+    pub fn is_group_changing(&self, p: StateId, q: StateId) -> bool {
+        self.group_changing[p.index() * self.num_states() + q.index()]
+    }
+
+    /// Whether every transition is symmetric: `δ(p, p) = (p', p')`.
+    ///
+    /// Symmetric protocols cannot break the symmetry of two identical
+    /// agents in one interaction; the paper restricts itself to this class.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Iterator over all states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.num_states() as u16).map(StateId)
+    }
+
+    /// All ordered pairs `(p, q)` whose transition is *not* the identity,
+    /// with their results. Useful for debugging and for the model checker.
+    pub fn non_identity_rules(&self) -> Vec<(StateId, StateId, StateId, StateId)> {
+        let mut out = Vec::new();
+        for p in self.states() {
+            for q in self.states() {
+                if !self.is_identity(p, q) {
+                    let (p2, q2) = self.delta(p, q);
+                    out.push((p, q, p2, q2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the non-identity rules as `(p, q) -> (p', q')` lines.
+    pub fn rules_pretty(&self) -> String {
+        let mut s = String::new();
+        for (p, q, p2, q2) in self.non_identity_rules() {
+            s.push_str(&format!(
+                "({}, {}) -> ({}, {})\n",
+                self.state_name(p),
+                self.state_name(q),
+                self.state_name(p2),
+                self.state_name(q2)
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for CompiledProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledProtocol")
+            .field("name", &self.name)
+            .field("num_states", &self.num_states())
+            .field("num_groups", &self.num_groups)
+            .field("symmetric", &self.symmetric)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+
+    fn toy() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("toy");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn delta_defaults_to_identity() {
+        let p = toy();
+        let a = p.state_by_name("a").unwrap();
+        let b = p.state_by_name("b").unwrap();
+        assert_eq!(p.delta(a, b), (a, b));
+        assert!(p.is_identity(a, b));
+        assert!(!p.is_identity(a, a));
+    }
+
+    #[test]
+    fn group_changing_mask() {
+        let p = toy();
+        let a = p.state_by_name("a").unwrap();
+        let b = p.state_by_name("b").unwrap();
+        assert!(p.is_group_changing(a, a)); // both move group 1 -> 2
+        assert!(!p.is_group_changing(b, b));
+        assert!(!p.is_group_changing(a, b));
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let p = toy();
+        assert!(p.is_symmetric());
+
+        let mut spec = ProtocolSpec::new("asym");
+        let l = spec.add_state("L", 1);
+        let f = spec.add_state("F", 1);
+        spec.set_initial(l);
+        spec.add_rule(l, l, l, f); // classic leader election: asymmetric
+        let p = spec.compile().unwrap();
+        assert!(!p.is_symmetric());
+    }
+
+    #[test]
+    fn state_lookup_and_names() {
+        let p = toy();
+        assert_eq!(p.num_states(), 2);
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.state_name(StateId(0)), "a");
+        assert_eq!(p.state_by_name("nope"), None);
+    }
+
+    #[test]
+    fn non_identity_rules_listing() {
+        let p = toy();
+        let rules = p.non_identity_rules();
+        assert_eq!(rules.len(), 1);
+        let (pp, qq, p2, q2) = rules[0];
+        assert_eq!(pp, StateId(0));
+        assert_eq!(qq, StateId(0));
+        assert_eq!(p2, StateId(1));
+        assert_eq!(q2, StateId(1));
+        assert!(p.rules_pretty().contains("(a, a) -> (b, b)"));
+    }
+
+    #[test]
+    fn zero_group_rejected() {
+        let mut spec = ProtocolSpec::new("bad");
+        let a = spec.add_state_raw("a", 0);
+        spec.set_initial(a);
+        assert!(matches!(
+            spec.compile(),
+            Err(ProtocolError::ZeroGroup(_))
+        ));
+    }
+}

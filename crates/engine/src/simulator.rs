@@ -1,0 +1,372 @@
+//! The execution driver.
+//!
+//! A [`Simulator`] repeatedly asks a scheduler for an interaction pair,
+//! applies the protocol's transition, notifies an observer, and — after
+//! every *count-changing* interaction — consults a stability criterion.
+//! (Identity interactions cannot alter stability, so skipping the check on
+//! them is an exact optimisation, not an approximation; the criterion is
+//! also evaluated once on the initial configuration.)
+//!
+//! The returned [`RunResult::interactions`] is precisely the paper's §5
+//! metric: the number of interactions performed strictly before the first
+//! stable configuration (a population that starts stable reports 0).
+
+use crate::observer::{NullObserver, Observer};
+use crate::population::{AgentPopulation, CountPopulation, Population};
+use crate::protocol::CompiledProtocol;
+use crate::scheduler::{AgentScheduler, PairScheduler};
+use crate::stability::StabilityCriterion;
+use std::fmt;
+
+/// Outcome of a completed (stabilised) run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Interactions performed before the first stable configuration,
+    /// including identity (null) interactions — the paper's time metric.
+    pub interactions: u64,
+    /// Of those, interactions whose transition changed at least one state.
+    pub effective_interactions: u64,
+}
+
+/// A run failed to reach stability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The interaction limit was reached before stabilisation. Carries the
+    /// limit so callers can report the censoring point.
+    InteractionLimit {
+        /// The limit that was exhausted.
+        limit: u64,
+    },
+    /// Fewer than two agents: no interaction is possible and the
+    /// configuration is not stable under the supplied criterion.
+    PopulationTooSmall,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InteractionLimit { limit } => {
+                write!(f, "no stable configuration within {limit} interactions")
+            }
+            RunError::PopulationTooSmall => {
+                write!(f, "population has fewer than two agents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Drives executions of one compiled protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator<'a> {
+    proto: &'a CompiledProtocol,
+}
+
+impl<'a> Simulator<'a> {
+    /// A simulator for `proto`.
+    pub fn new(proto: &'a CompiledProtocol) -> Self {
+        Simulator { proto }
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &'a CompiledProtocol {
+        self.proto
+    }
+
+    /// Run a count-vector population until `criterion` reports stability,
+    /// without observation.
+    pub fn run<S, C>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut S,
+        criterion: &C,
+        max_interactions: u64,
+    ) -> Result<RunResult, RunError>
+    where
+        S: PairScheduler,
+        C: StabilityCriterion,
+    {
+        self.run_observed(pop, scheduler, criterion, max_interactions, &mut NullObserver)
+    }
+
+    /// Run a count-vector population until stability, reporting every
+    /// interaction to `observer`.
+    pub fn run_observed<S, C, O>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut S,
+        criterion: &C,
+        max_interactions: u64,
+        observer: &mut O,
+    ) -> Result<RunResult, RunError>
+    where
+        S: PairScheduler,
+        C: StabilityCriterion,
+        O: Observer,
+    {
+        if criterion.is_stable(self.proto, pop.counts()) {
+            return Ok(RunResult {
+                interactions: 0,
+                effective_interactions: 0,
+            });
+        }
+        if pop.num_agents() < 2 {
+            return Err(RunError::PopulationTooSmall);
+        }
+        let mut interactions: u64 = 0;
+        let mut effective: u64 = 0;
+        while interactions < max_interactions {
+            let (p, q) = scheduler.select_pair(pop);
+            let (p2, q2) = self.proto.delta(p, q);
+            interactions += 1;
+            if p2 == p && q2 == q {
+                observer.on_interaction(interactions, p, q, p2, q2, pop.counts());
+                continue;
+            }
+            pop.apply(p, q, p2, q2);
+            effective += 1;
+            observer.on_interaction(interactions, p, q, p2, q2, pop.counts());
+            if criterion.is_stable(self.proto, pop.counts()) {
+                return Ok(RunResult {
+                    interactions,
+                    effective_interactions: effective,
+                });
+            }
+        }
+        Err(RunError::InteractionLimit {
+            limit: max_interactions,
+        })
+    }
+
+    /// Run a per-agent population until stability (on its count
+    /// projection), reporting every interaction to `observer`.
+    pub fn run_agents_observed<S, C, O>(
+        &self,
+        pop: &mut AgentPopulation,
+        scheduler: &mut S,
+        criterion: &C,
+        max_interactions: u64,
+        observer: &mut O,
+    ) -> Result<RunResult, RunError>
+    where
+        S: AgentScheduler,
+        C: StabilityCriterion,
+        O: Observer,
+    {
+        if criterion.is_stable(self.proto, pop.counts()) {
+            return Ok(RunResult {
+                interactions: 0,
+                effective_interactions: 0,
+            });
+        }
+        if pop.num_agents() < 2 {
+            return Err(RunError::PopulationTooSmall);
+        }
+        let mut interactions: u64 = 0;
+        let mut effective: u64 = 0;
+        while interactions < max_interactions {
+            let (i, j) = scheduler.select_agents(pop);
+            let (p, q, p2, q2) = pop.interact(self.proto, i, j);
+            interactions += 1;
+            let changed = p2 != p || q2 != q;
+            if changed {
+                effective += 1;
+            }
+            observer.on_interaction(interactions, p, q, p2, q2, pop.counts());
+            if changed && criterion.is_stable(self.proto, pop.counts()) {
+                return Ok(RunResult {
+                    interactions,
+                    effective_interactions: effective,
+                });
+            }
+        }
+        Err(RunError::InteractionLimit {
+            limit: max_interactions,
+        })
+    }
+
+    /// Run a per-agent population without observation.
+    pub fn run_agents<S, C>(
+        &self,
+        pop: &mut AgentPopulation,
+        scheduler: &mut S,
+        criterion: &C,
+        max_interactions: u64,
+    ) -> Result<RunResult, RunError>
+    where
+        S: AgentScheduler,
+        C: StabilityCriterion,
+    {
+        self.run_agents_observed(pop, scheduler, criterion, max_interactions, &mut NullObserver)
+    }
+
+    /// Perform exactly `steps` interactions (regardless of stability) on a
+    /// count population, reporting each to `observer`. Useful for warm-up
+    /// and for protocols without a stability notion.
+    pub fn run_fixed<S, O>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut S,
+        steps: u64,
+        observer: &mut O,
+    ) where
+        S: PairScheduler,
+        O: Observer,
+    {
+        for step in 1..=steps {
+            let (p, q) = scheduler.select_pair(pop);
+            let (p2, q2) = self.proto.delta(p, q);
+            if p2 != p || q2 != q {
+                pop.apply(p, q, p2, q2);
+            }
+            observer.on_interaction(step, p, q, p2, q2, pop.counts());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::UniformRandomScheduler;
+    use crate::spec::ProtocolSpec;
+    use crate::stability::{Never, Silent};
+
+    fn epidemic() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("epidemic");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn epidemic_stabilises_everyone_infected() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 64);
+        pop.set_count(s, 63);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(11);
+        let res = Simulator::new(&p)
+            .run(&mut pop, &mut sched, &Silent, 10_000_000)
+            .unwrap();
+        assert_eq!(pop.count(i), 64);
+        // Coupon-collector-like: needs at least n - 1 infections.
+        assert!(res.effective_interactions == 63);
+        assert!(res.interactions >= 63);
+    }
+
+    #[test]
+    fn already_stable_returns_zero() {
+        let p = epidemic();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 5);
+        pop.set_count(p.initial_state(), 0);
+        pop.set_count(i, 5);
+        let mut sched = UniformRandomScheduler::from_seed(0);
+        let res = Simulator::new(&p)
+            .run(&mut pop, &mut sched, &Silent, 100)
+            .unwrap();
+        assert_eq!(res.interactions, 0);
+    }
+
+    #[test]
+    fn limit_is_reported() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 1000);
+        pop.set_count(s, 999);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        let err = Simulator::new(&p)
+            .run(&mut pop, &mut sched, &Silent, 5)
+            .unwrap_err();
+        assert_eq!(err, RunError::InteractionLimit { limit: 5 });
+    }
+
+    #[test]
+    fn too_small_population_errors() {
+        let p = epidemic();
+        let mut pop = CountPopulation::new(&p, 1);
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        // A single agent can never interact; with a never-satisfied
+        // criterion the simulator must report the population as too small
+        // rather than spinning.
+        let err = Simulator::new(&p)
+            .run(&mut pop, &mut sched, &Never, 5)
+            .unwrap_err();
+        assert_eq!(err, RunError::PopulationTooSmall);
+    }
+
+    #[test]
+    fn agent_and_count_representations_agree_in_distribution() {
+        // Same protocol, same seed policy; expect identical *final* states
+        // and statistically indistinguishable interaction counts. Here we
+        // only check final-state agreement per run.
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        for seed in 0..10 {
+            let mut cpop = CountPopulation::new(&p, 30);
+            cpop.set_count(s, 29);
+            cpop.set_count(i, 1);
+            let mut sched = UniformRandomScheduler::from_seed(seed);
+            Simulator::new(&p)
+                .run(&mut cpop, &mut sched, &Silent, 1_000_000)
+                .unwrap();
+
+            let mut apop = AgentPopulation::new(&p, 30);
+            apop.set_state(0, i);
+            let mut sched = UniformRandomScheduler::from_seed(seed);
+            Simulator::new(&p)
+                .run_agents(&mut apop, &mut sched, &Silent, 1_000_000)
+                .unwrap();
+
+            assert_eq!(cpop.count(i), 30);
+            assert_eq!(apop.count(i), 30);
+        }
+    }
+
+    #[test]
+    fn run_fixed_performs_exact_step_count() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 10);
+        pop.set_count(s, 9);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(4);
+        let mut seen = 0u64;
+        struct Counter<'a>(&'a mut u64);
+        impl crate::observer::Observer for Counter<'_> {
+            fn on_interaction(
+                &mut self,
+                _s: u64,
+                _p: crate::protocol::StateId,
+                _q: crate::protocol::StateId,
+                _p2: crate::protocol::StateId,
+                _q2: crate::protocol::StateId,
+                _c: &[u64],
+            ) {
+                *self.0 += 1;
+            }
+        }
+        Simulator::new(&p).run_fixed(&mut pop, &mut sched, 123, &mut Counter(&mut seen));
+        assert_eq!(seen, 123);
+    }
+
+    #[test]
+    fn never_criterion_always_hits_limit() {
+        let p = epidemic();
+        let mut pop = CountPopulation::new(&p, 10);
+        let mut sched = UniformRandomScheduler::from_seed(4);
+        let err = Simulator::new(&p)
+            .run(&mut pop, &mut sched, &Never, 50)
+            .unwrap_err();
+        assert_eq!(err, RunError::InteractionLimit { limit: 50 });
+    }
+}

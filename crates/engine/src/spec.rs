@@ -1,0 +1,192 @@
+//! Declarative protocol descriptions.
+//!
+//! A [`ProtocolSpec`] accumulates named states (each with its group under
+//! the output map `f`), a designated initial state, and transition rules,
+//! then compiles into a validated [`CompiledProtocol`]. Rules are given on
+//! *ordered* pairs; [`ProtocolSpec::add_rule_symmetric`] registers both
+//! orders at once with mirrored results, which is how the paper writes its
+//! rules (an interaction between an agent in state `p` and one in state `q`
+//! sends them to `p'` and `q'` respectively, regardless of order).
+
+use crate::protocol::{CompiledProtocol, GroupId, ProtocolError, StateId};
+
+/// Builder for population protocols.
+#[derive(Clone)]
+pub struct ProtocolSpec {
+    name: String,
+    state_names: Vec<String>,
+    groups: Vec<GroupId>,
+    initial: Option<StateId>,
+    /// Sparse rule list on ordered pairs; conflicts detected at compile time.
+    rules: Vec<(StateId, StateId, StateId, StateId)>,
+}
+
+impl ProtocolSpec {
+    /// Start an empty protocol description.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProtocolSpec {
+            name: name.into(),
+            state_names: Vec::new(),
+            groups: Vec::new(),
+            initial: None,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a state with the given name, assigned to `group` (1-based, as in
+    /// the paper's map `f`). Returns the new state's id.
+    pub fn add_state(&mut self, name: impl Into<String>, group: u16) -> StateId {
+        assert!(group >= 1, "groups are 1-based");
+        self.add_state_raw(name, group)
+    }
+
+    /// Like [`Self::add_state`] but without the 1-based assertion; used by
+    /// tests to exercise compile-time validation.
+    pub fn add_state_raw(&mut self, name: impl Into<String>, group: u16) -> StateId {
+        let id = StateId(self.state_names.len() as u16);
+        self.state_names.push(name.into());
+        self.groups.push(GroupId(group));
+        id
+    }
+
+    /// Designate the initial state `s0`.
+    pub fn set_initial(&mut self, s: StateId) {
+        self.initial = Some(s);
+    }
+
+    /// Register the ordered rule `(p, q) → (p2, q2)`.
+    pub fn add_rule(&mut self, p: StateId, q: StateId, p2: StateId, q2: StateId) {
+        self.rules.push((p, q, p2, q2));
+    }
+
+    /// Register `(p, q) → (p2, q2)` *and* its mirror `(q, p) → (q2, p2)`.
+    ///
+    /// This matches the paper's unordered rule notation. When `p == q` the
+    /// mirror coincides with the rule itself and the result must satisfy the
+    /// symmetry condition `p2 == q2` for the protocol to be symmetric (this
+    /// is validated by [`CompiledProtocol::is_symmetric`], not here, so that
+    /// asymmetric protocols can also be described).
+    pub fn add_rule_symmetric(&mut self, p: StateId, q: StateId, p2: StateId, q2: StateId) {
+        self.add_rule(p, q, p2, q2);
+        if p != q {
+            self.add_rule(q, p, q2, p2);
+        }
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Validate and compile into a dense-table protocol.
+    ///
+    /// Every ordered pair without a rule defaults to the identity
+    /// transition. Duplicate rules are tolerated when they agree and
+    /// rejected when they conflict.
+    pub fn compile(&self) -> Result<CompiledProtocol, ProtocolError> {
+        let s = self.state_names.len();
+        if s == 0 {
+            return Err(ProtocolError::EmptyStateSet);
+        }
+        let initial = self.initial.ok_or(ProtocolError::MissingInitialState)?;
+        let mut table: Vec<(StateId, StateId)> = Vec::with_capacity(s * s);
+        for p in 0..s {
+            for q in 0..s {
+                table.push((StateId(p as u16), StateId(q as u16)));
+            }
+        }
+        let mut written = vec![false; s * s];
+        for &(p, q, p2, q2) in &self.rules {
+            for x in [p, q, p2, q2] {
+                if x.index() >= s {
+                    return Err(ProtocolError::StateOutOfRange(x));
+                }
+            }
+            let idx = p.index() * s + q.index();
+            if written[idx] && table[idx] != (p2, q2) {
+                return Err(ProtocolError::ConflictingRule { p, q });
+            }
+            table[idx] = (p2, q2);
+            written[idx] = true;
+        }
+        CompiledProtocol::from_parts(
+            self.name.clone(),
+            self.state_names.clone(),
+            self.groups.clone(),
+            initial,
+            table,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_rule_registers_mirror() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let c = spec.add_state("c", 2);
+        let d = spec.add_state("d", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(a, b, c, d);
+        let p = spec.compile().unwrap();
+        assert_eq!(p.delta(a, b), (c, d));
+        assert_eq!(p.delta(b, a), (d, c));
+    }
+
+    #[test]
+    fn missing_initial_rejected() {
+        let mut spec = ProtocolSpec::new("t");
+        spec.add_state("a", 1);
+        assert_eq!(
+            spec.compile().unwrap_err(),
+            ProtocolError::MissingInitialState
+        );
+    }
+
+    #[test]
+    fn empty_state_set_rejected() {
+        let spec = ProtocolSpec::new("t");
+        assert_eq!(spec.compile().unwrap_err(), ProtocolError::EmptyStateSet);
+    }
+
+    #[test]
+    fn conflicting_rules_rejected() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.add_rule(a, a, a, b);
+        assert!(matches!(
+            spec.compile().unwrap_err(),
+            ProtocolError::ConflictingRule { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_agreeing_rules_tolerated() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.add_rule(a, a, b, b);
+        assert!(spec.compile().is_ok());
+    }
+
+    #[test]
+    fn rule_with_unknown_state_rejected() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        spec.set_initial(a);
+        spec.add_rule(a, StateId(9), a, a);
+        assert!(matches!(
+            spec.compile().unwrap_err(),
+            ProtocolError::StateOutOfRange(_)
+        ));
+    }
+}

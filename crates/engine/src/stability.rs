@@ -1,0 +1,358 @@
+//! Stability criteria — when has an execution "solved" its problem?
+//!
+//! The paper measures "the total number of interactions until a population
+//! reaches a stable configuration" (§5). A configuration is *stable* for
+//! uniform k-partition when group sizes are balanced and **no agent ever
+//! changes its group again** in any continuation (§2.2). Deciding this
+//! generically requires reasoning about all reachable continuations, so the
+//! engine offers a spectrum of criteria:
+//!
+//! * [`Silent`] — no enabled transition changes any state. Sound for every
+//!   protocol (a silent configuration is a sink) but incomplete for the
+//!   paper's protocol: when `n mod k = 1` the lone free agent keeps
+//!   flipping `initial ↔ initial'` (rules 3–4), so the stable configuration
+//!   is never silent.
+//! * [`GroupClosure`] — explores the set of configurations reachable from
+//!   the current one and reports stable iff no group-changing transition is
+//!   enabled anywhere in that closure. Sound *and* complete for group
+//!   stability, at the cost of a bounded search; cheap in practice because
+//!   the closure of a truly stable configuration of the k-partition
+//!   protocol has at most `#free + 1` elements (only free-agent flips
+//!   remain).
+//! * [`Signature`] — an exact, O(|Q|) predicate on the count vector,
+//!   supplied by the protocol implementation (e.g. the Lemma 4–6
+//!   characterisation of the k-partition protocol's stable
+//!   configurations). This is what the figure harnesses use; tests verify
+//!   it agrees with [`GroupClosure`].
+//! * [`Never`] — never stable; for fixed-length runs.
+
+use crate::population::{CountPopulation, Population};
+use crate::protocol::{CompiledProtocol, StateId};
+use std::collections::HashSet;
+
+/// Decides whether a configuration (count vector) is stable.
+///
+/// ```
+/// use pp_engine::spec::ProtocolSpec;
+/// use pp_engine::stability::{Silent, StabilityCriterion};
+///
+/// let mut spec = ProtocolSpec::new("epidemic");
+/// let s = spec.add_state("S", 1);
+/// let i = spec.add_state("I", 2);
+/// spec.set_initial(s);
+/// spec.add_rule_symmetric(i, s, i, i);
+/// let proto = spec.compile().unwrap();
+///
+/// // [S, I] counts: an infection is still possible at [1, 2]…
+/// assert!(!Silent.is_stable(&proto, &[1, 2]));
+/// // …but [0, 3] is a sink.
+/// assert!(Silent.is_stable(&proto, &[0, 3]));
+/// ```
+pub trait StabilityCriterion {
+    /// Whether the configuration given by `counts` is stable.
+    ///
+    /// Called by the simulator once at the start of a run and after every
+    /// count-changing interaction (identity interactions cannot change
+    /// stability).
+    fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool;
+}
+
+/// Returns every ordered pair `(p, q)` enabled in `counts`
+/// (`counts[p] ≥ 1`, and `counts[q] ≥ 2` when `p == q`).
+pub fn enabled_pairs(counts: &[u64]) -> impl Iterator<Item = (StateId, StateId)> + '_ {
+    counts.iter().enumerate().flat_map(move |(pi, &cp)| {
+        counts
+            .iter()
+            .enumerate()
+            .filter(move |&(qi, &cq)| cp >= 1 && cq >= if pi == qi { 2 } else { 1 })
+            .map(move |(qi, _)| (StateId(pi as u16), StateId(qi as u16)))
+    })
+}
+
+/// No enabled transition changes any state: the configuration is a sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl StabilityCriterion for Silent {
+    fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        enabled_pairs(counts).all(|(p, q)| proto.is_identity(p, q))
+    }
+}
+
+/// Complete group-stability check by closure exploration.
+///
+/// Reports stable iff no configuration reachable from `counts` enables a
+/// group-changing transition. The search aborts (reporting *unstable*) once
+/// `max_closure` distinct configurations have been visited, which keeps the
+/// check bounded when invoked on a far-from-stable configuration; the
+/// default bound of `4096` comfortably covers the flip-only closures of
+/// genuinely stable configurations.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupClosure {
+    /// Abort threshold on the number of explored configurations.
+    pub max_closure: usize,
+}
+
+impl Default for GroupClosure {
+    fn default() -> Self {
+        GroupClosure { max_closure: 4096 }
+    }
+}
+
+impl StabilityCriterion for GroupClosure {
+    fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        // Fast necessary condition: no *currently* enabled group-changing
+        // transition. This rejects almost every mid-run configuration
+        // without touching the closure search.
+        if enabled_pairs(counts).any(|(p, q)| proto.is_group_changing(p, q)) {
+            return false;
+        }
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let mut stack = vec![counts.to_vec()];
+        seen.insert(counts.to_vec());
+        while let Some(cfg) = stack.pop() {
+            if seen.len() > self.max_closure {
+                return false;
+            }
+            for (p, q) in enabled_pairs(&cfg).collect::<Vec<_>>() {
+                if proto.is_group_changing(p, q) {
+                    return false;
+                }
+                if proto.is_identity(p, q) {
+                    continue;
+                }
+                let (p2, q2) = proto.delta(p, q);
+                let mut next = cfg.clone();
+                next[p.index()] -= 1;
+                next[q.index()] -= 1;
+                next[p2.index()] += 1;
+                next[q2.index()] += 1;
+                if seen.insert(next.clone()) {
+                    stack.push(next);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact target signature on the count vector.
+///
+/// `fixed[s] = Some(c)` requires `counts[s] == c`; states not fixed must be
+/// covered by a *pool*: a set of states whose counts must sum to a given
+/// value (e.g. "exactly one agent in `{initial, initial'}`" for the
+/// `n mod k = 1` case of Lemma 6).
+#[derive(Clone, Debug)]
+pub struct Signature {
+    fixed: Vec<Option<u64>>,
+    pools: Vec<(Vec<StateId>, u64)>,
+}
+
+impl Signature {
+    /// Build a signature. Every state must either appear in `fixed` (as
+    /// `Some`) or belong to exactly one pool; unconstrained states would
+    /// make the predicate vacuous, so they are rejected.
+    pub fn new(fixed: Vec<Option<u64>>, pools: Vec<(Vec<StateId>, u64)>) -> Self {
+        let mut covered: Vec<bool> = fixed.iter().map(Option::is_some).collect();
+        for (states, _) in &pools {
+            for s in states {
+                assert!(
+                    !covered[s.index()],
+                    "state {s:?} constrained twice in stability signature"
+                );
+                covered[s.index()] = true;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "every state must be constrained by a stability signature"
+        );
+        Signature { fixed, pools }
+    }
+
+    /// Signature requiring exactly the given counts (no pools).
+    pub fn exact(counts: Vec<u64>) -> Self {
+        Signature {
+            fixed: counts.into_iter().map(Some).collect(),
+            pools: Vec::new(),
+        }
+    }
+
+    /// Check the signature directly against a count vector.
+    pub fn matches(&self, counts: &[u64]) -> bool {
+        debug_assert_eq!(counts.len(), self.fixed.len());
+        for (c, f) in counts.iter().zip(&self.fixed) {
+            if let Some(want) = f {
+                if c != want {
+                    return false;
+                }
+            }
+        }
+        self.pools
+            .iter()
+            .all(|(states, want)| states.iter().map(|s| counts[s.index()]).sum::<u64>() == *want)
+    }
+}
+
+impl StabilityCriterion for Signature {
+    #[inline]
+    fn is_stable(&self, _proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        self.matches(counts)
+    }
+}
+
+/// Never stable — run until the interaction limit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Never;
+
+impl StabilityCriterion for Never {
+    #[inline(always)]
+    fn is_stable(&self, _proto: &CompiledProtocol, _counts: &[u64]) -> bool {
+        false
+    }
+}
+
+/// Stable when *either* criterion fires; records nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct Either<A, B>(
+    /// First criterion.
+    pub A,
+    /// Second criterion.
+    pub B,
+);
+
+impl<A: StabilityCriterion, B: StabilityCriterion> StabilityCriterion for Either<A, B> {
+    #[inline]
+    fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        self.0.is_stable(proto, counts) || self.1.is_stable(proto, counts)
+    }
+}
+
+/// Convenience: evaluate a criterion against a [`CountPopulation`].
+pub fn is_stable<C: StabilityCriterion>(
+    crit: &C,
+    proto: &CompiledProtocol,
+    pop: &CountPopulation,
+) -> bool {
+    crit.is_stable(proto, pop.counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+
+    /// Epidemic with a "refractory flip": (I, I) -> (J, J), (J, J) -> (I, I)
+    /// where I and J are both group 2. Once everyone is infected the
+    /// population keeps flipping between I and J — never silent, but group
+    /// membership is fixed.
+    fn flipping_epidemic() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("flip");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        let j = spec.add_state("J", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        spec.add_rule_symmetric(j, s, j, j);
+        spec.add_rule(i, i, j, j);
+        spec.add_rule(j, j, i, i);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn silent_detects_sinks_only() {
+        let p = flipping_epidemic();
+        // counts: [S, I, J]
+        assert!(!Silent.is_stable(&p, &[3, 1, 0])); // infection enabled
+        assert!(!Silent.is_stable(&p, &[0, 2, 0])); // flip enabled
+        assert!(Silent.is_stable(&p, &[0, 1, 1])); // (I, J) is identity
+        assert!(Silent.is_stable(&p, &[0, 1, 0])); // single agent
+        assert!(Silent.is_stable(&p, &[1, 0, 0])); // lone susceptible
+    }
+
+    #[test]
+    fn group_closure_sees_through_flips() {
+        let p = flipping_epidemic();
+        // All infected, flipping forever: group-stable but not silent.
+        assert!(GroupClosure::default().is_stable(&p, &[0, 4, 0]));
+        assert!(!Silent.is_stable(&p, &[0, 4, 0]));
+        // One susceptible left: infection will change its group.
+        assert!(!GroupClosure::default().is_stable(&p, &[1, 3, 0]));
+    }
+
+    #[test]
+    fn group_closure_rejects_latent_instability() {
+        // Protocol where the group change is two hops away:
+        // (a, a) -> (b, b) keeps group 1; (b, b) -> (c, c) moves to group 2.
+        let mut spec = ProtocolSpec::new("latent");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let c = spec.add_state("c", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.add_rule(b, b, c, c);
+        let p = spec.compile().unwrap();
+        // No group-changing transition is *currently* enabled at [2,0,0],
+        // but one becomes enabled after the (a,a) flip.
+        assert!(!GroupClosure::default().is_stable(&p, &[2, 0, 0]));
+        assert!(GroupClosure::default().is_stable(&p, &[1, 1, 0]));
+        let _ = (a, b, c);
+    }
+
+    #[test]
+    fn signature_pools() {
+        let p = flipping_epidemic();
+        let i = p.state_by_name("I").unwrap();
+        let j = p.state_by_name("J").unwrap();
+        let sig = Signature::new(vec![Some(0), None, None], vec![(vec![i, j], 4)]);
+        assert!(sig.is_stable(&p, &[0, 4, 0]));
+        assert!(sig.is_stable(&p, &[0, 1, 3]));
+        assert!(!sig.is_stable(&p, &[0, 3, 0]));
+        assert!(!sig.is_stable(&p, &[1, 3, 1]));
+    }
+
+    #[test]
+    fn signature_exact() {
+        let sig = Signature::exact(vec![1, 2, 3]);
+        assert!(sig.matches(&[1, 2, 3]));
+        assert!(!sig.matches(&[1, 2, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "constrained twice")]
+    fn signature_rejects_double_constraint() {
+        Signature::new(vec![Some(0), Some(1)], vec![(vec![StateId(1)], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be constrained")]
+    fn signature_rejects_unconstrained_state() {
+        Signature::new(vec![Some(0), None], vec![]);
+    }
+
+    #[test]
+    fn either_combines() {
+        let p = flipping_epidemic();
+        let sig = Signature::exact(vec![9, 9, 9]);
+        let both = Either(sig, Silent);
+        assert!(both.is_stable(&p, &[0, 1, 1])); // silent side
+        assert!(both.is_stable(&p, &[9, 9, 9])); // signature side
+        assert!(!both.is_stable(&p, &[1, 1, 0]));
+    }
+
+    #[test]
+    fn never_is_never_stable() {
+        let p = flipping_epidemic();
+        assert!(!Never.is_stable(&p, &[0, 0, 0]));
+    }
+
+    #[test]
+    fn enabled_pairs_respects_multiplicity() {
+        let pairs: Vec<_> = enabled_pairs(&[1, 2]).collect();
+        // (0,0) needs two agents in state 0 -> absent.
+        assert!(!pairs.contains(&(StateId(0), StateId(0))));
+        assert!(pairs.contains(&(StateId(0), StateId(1))));
+        assert!(pairs.contains(&(StateId(1), StateId(0))));
+        assert!(pairs.contains(&(StateId(1), StateId(1))));
+    }
+}

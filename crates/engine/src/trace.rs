@@ -1,0 +1,191 @@
+//! Scripted executions and configuration pretty-printing.
+//!
+//! The paper illustrates its protocol with two hand-picked executions
+//! (Figures 1 and 2). [`ScriptedExecution`] replays such executions on a
+//! per-agent population, recording each transition, so tests can assert
+//! the exact intermediate configurations the paper shows.
+
+use crate::population::AgentPopulation;
+use crate::protocol::{CompiledProtocol, StateId};
+use std::fmt::Write as _;
+
+/// One applied interaction in a scripted execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// First agent (initiator) index.
+    pub i: usize,
+    /// Second agent (responder) index.
+    pub j: usize,
+    /// State of agent `i` before.
+    pub p: StateId,
+    /// State of agent `j` before.
+    pub q: StateId,
+    /// State of agent `i` after.
+    pub p2: StateId,
+    /// State of agent `j` after.
+    pub q2: StateId,
+}
+
+impl TransitionRecord {
+    /// Whether the interaction was a null (identity) interaction.
+    pub fn is_identity(&self) -> bool {
+        self.p == self.p2 && self.q == self.q2
+    }
+}
+
+/// Replays explicit agent-pair interactions, keeping a transition log.
+pub struct ScriptedExecution<'a> {
+    proto: &'a CompiledProtocol,
+    pop: AgentPopulation,
+    log: Vec<TransitionRecord>,
+}
+
+impl<'a> ScriptedExecution<'a> {
+    /// Start from the all-`initial` configuration of `n` agents.
+    pub fn new(proto: &'a CompiledProtocol, n: usize) -> Self {
+        ScriptedExecution {
+            proto,
+            pop: AgentPopulation::new(proto, n),
+            log: Vec::new(),
+        }
+    }
+
+    /// Start from an explicit per-agent state assignment.
+    pub fn from_states(proto: &'a CompiledProtocol, states: Vec<StateId>) -> Self {
+        ScriptedExecution {
+            proto,
+            pop: AgentPopulation::from_states(states, proto.num_states()),
+            log: Vec::new(),
+        }
+    }
+
+    /// Apply the interaction between agents `i` (initiator) and `j`
+    /// (responder); 0-based indices. Returns the transition performed.
+    pub fn interact(&mut self, i: usize, j: usize) -> TransitionRecord {
+        let (p, q, p2, q2) = self.pop.interact(self.proto, i, j);
+        let rec = TransitionRecord { i, j, p, q, p2, q2 };
+        self.log.push(rec);
+        rec
+    }
+
+    /// Apply a sequence of interactions.
+    pub fn interact_all(&mut self, pairs: &[(usize, usize)]) {
+        for &(i, j) in pairs {
+            self.interact(i, j);
+        }
+    }
+
+    /// The population in its current configuration.
+    pub fn population(&self) -> &AgentPopulation {
+        &self.pop
+    }
+
+    /// Mutable access (fault injection mid-script).
+    pub fn population_mut(&mut self) -> &mut AgentPopulation {
+        &mut self.pop
+    }
+
+    /// The transition log so far.
+    pub fn log(&self) -> &[TransitionRecord] {
+        &self.log
+    }
+
+    /// Current states by agent, as names — e.g.
+    /// `["initial", "m2", "g1", …]`.
+    pub fn state_names(&self) -> Vec<&str> {
+        self.pop
+            .states()
+            .iter()
+            .map(|&s| self.proto.state_name(s))
+            .collect()
+    }
+
+    /// Render the current configuration as `a1:state a2:state …`,
+    /// matching the agent-labelled style of the paper's figures
+    /// (agents are numbered from 1).
+    pub fn config_string(&self) -> String {
+        let mut out = String::new();
+        for (idx, &s) in self.pop.states().iter().enumerate() {
+            if idx > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "a{}:{}", idx + 1, self.proto.state_name(s));
+        }
+        out
+    }
+}
+
+/// Render a count vector as `state×count` pairs, omitting zero counts —
+/// e.g. `initial×3 g1×2 m2×1`.
+pub fn counts_pretty(proto: &CompiledProtocol, counts: &[u64]) -> String {
+    let mut out = String::new();
+    for (idx, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let _ = write!(out, "{}×{}", proto.state_name(StateId(idx as u16)), c);
+    }
+    if out.is_empty() {
+        out.push_str("(empty)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use crate::spec::ProtocolSpec;
+
+    fn epidemic() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("epidemic");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn scripted_execution_logs_transitions() {
+        let p = epidemic();
+        let i_state = p.state_by_name("I").unwrap();
+        let mut exec = ScriptedExecution::new(&p, 3);
+        exec.population_mut().set_state(0, i_state);
+        let rec = exec.interact(0, 1);
+        assert!(!rec.is_identity());
+        assert_eq!(rec.q2, i_state);
+        let rec = exec.interact(0, 1); // now identity: both infected
+        assert!(rec.is_identity());
+        assert_eq!(exec.log().len(), 2);
+        assert_eq!(exec.state_names(), vec!["I", "I", "S"]);
+    }
+
+    #[test]
+    fn config_string_is_agent_labelled() {
+        let p = epidemic();
+        let exec = ScriptedExecution::new(&p, 2);
+        assert_eq!(exec.config_string(), "a1:S a2:S");
+    }
+
+    #[test]
+    fn counts_pretty_omits_zeros() {
+        let p = epidemic();
+        assert_eq!(counts_pretty(&p, &[2, 0]), "S×2");
+        assert_eq!(counts_pretty(&p, &[1, 3]), "S×1 I×3");
+        assert_eq!(counts_pretty(&p, &[0, 0]), "(empty)");
+    }
+
+    #[test]
+    fn interact_all_applies_in_order() {
+        let p = epidemic();
+        let i_state = p.state_by_name("I").unwrap();
+        let mut exec = ScriptedExecution::new(&p, 4);
+        exec.population_mut().set_state(0, i_state);
+        exec.interact_all(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(exec.population().count(i_state), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pp-protocols — protocol implementations
+//!
+//! The protocols reproduced or built for the paper *"A Population Protocol
+//! for Uniform k-partition under Global Fairness"* (Yasumi et al., IJNC
+//! 2019), plus classic textbook protocols exercising the engine:
+//!
+//! * [`kpartition`] — **the paper's contribution**: the symmetric
+//!   `3k − 2`-state uniform k-partition protocol (Algorithm 1), its stable
+//!   configuration characterisation (Lemmas 4–6), the Lemma 1 invariant,
+//!   and the rules-1–7 "basic strategy" ablation of §3.2.
+//! * [`bipartition`] — the 4-state uniform bipartition protocol of Yasumi
+//!   et al. (OPODIS 2017), which the paper's protocol specialises to at
+//!   `k = 2`.
+//! * [`hierarchical`] — recursive bipartition protocols: the `k = 2^h`
+//!   composition the paper's introduction discusses, and the approximate
+//!   k-partition baseline in the spirit of Delporte-Gallet et al. (2006)
+//!   (every group at least `n/(2k)` agents for large `n`).
+//! * [`ratio`] — the R-generalized (ratio) partition extension the paper's
+//!   related-work section mentions (Umino et al., BDA 2018), built by slot
+//!   folding over the uniform Σrᵢ-partition protocol.
+//! * [`classics`] — epidemic, leader election, and 3-state approximate
+//!   majority; engine demonstrations and related-work context (§1.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartition;
+pub mod classics;
+pub mod hierarchical;
+pub mod kpartition;
+pub mod ratio;
+
+pub use kpartition::UniformKPartition;

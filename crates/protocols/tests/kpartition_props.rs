@@ -1,0 +1,190 @@
+//! Property tests re-proving the paper's Lemma 1 inductive step: every
+//! single transition of Algorithm 1 preserves the invariant
+//! `#g_x = Σ_{p>x} #m_p + Σ_{q≥x} #d_q + #g_k` — checked not just along
+//! executions but from *arbitrary* points on the invariant surface
+//! (a strictly stronger statement than run-sampling can give).
+
+use pp_engine::protocol::StateId;
+use pp_protocols::kpartition::UniformKPartition;
+use proptest::prelude::*;
+
+/// Generate an arbitrary configuration on the Lemma 1 surface: choose the
+/// free agents, chain-builder counts, demolisher counts, and `#g_k`
+/// freely; the invariant then *determines* `#g_1..#g_{k−1}`.
+fn lemma1_config(kp: UniformKPartition, seed: u64) -> Vec<u64> {
+    let k = kp.k();
+    let mut counts = vec![0u64; kp.num_states()];
+    let mut z = seed | 1;
+    let mut next = move |m: u64| {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        z % m
+    };
+    counts[kp.initial().index()] = next(4);
+    counts[kp.initial_prime().index()] = next(4);
+    let gk = next(3);
+    counts[kp.g(k).index()] = gk;
+    if k >= 3 {
+        for i in 2..=k - 1 {
+            counts[kp.m(i).index()] = next(3);
+        }
+        for i in 1..=k - 2 {
+            counts[kp.d(i).index()] = next(3);
+        }
+    }
+    // Determined part: #g_x = Σ_{p>x} #m_p + Σ_{q≥x} #d_q + #g_k.
+    for x in 1..k {
+        let mut v = gk;
+        if k >= 3 {
+            for p in (x + 1)..=(k - 1) {
+                if p >= 2 {
+                    v += counts[kp.m(p).index()];
+                }
+            }
+            for q in x..=(k - 2) {
+                if q >= 1 {
+                    v += counts[kp.d(q).index()];
+                }
+            }
+        }
+        counts[kp.g(x).index()] = v;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1 inductive step: from any invariant-satisfying
+    /// configuration, every enabled transition lands back on the
+    /// invariant surface.
+    #[test]
+    fn every_rule_preserves_lemma1(k in 3usize..10, seed in any::<u64>()) {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        let counts = lemma1_config(kp, seed);
+        prop_assert!(kp.lemma1_holds(&counts), "generator broke the surface");
+        for pi in 0..proto.num_states() {
+            for qi in 0..proto.num_states() {
+                let need_p = 1 + u64::from(pi == qi);
+                if counts[pi] < need_p.min(counts[pi].max(1)) || counts[pi] == 0 {
+                    continue;
+                }
+                if counts[qi] < if pi == qi { 2 } else { 1 } {
+                    continue;
+                }
+                let (p, q) = (StateId(pi as u16), StateId(qi as u16));
+                let (p2, q2) = proto.delta(p, q);
+                if (p2, q2) == (p, q) {
+                    continue;
+                }
+                let mut next = counts.clone();
+                next[pi] -= 1;
+                next[qi] -= 1;
+                next[p2.index()] += 1;
+                next[q2.index()] += 1;
+                prop_assert!(
+                    kp.lemma1_holds(&next),
+                    "k={k}: rule ({}, {}) -> ({}, {}) broke Lemma 1\nbefore: {:?}\nafter: {:?}",
+                    proto.state_name(p), proto.state_name(q),
+                    proto.state_name(p2), proto.state_name(q2),
+                    counts, next
+                );
+            }
+        }
+    }
+
+    /// #g_k is monotone: no transition decreases the count of g_k — the
+    /// ratchet behind Lemma 4 ("once an agent enters g_k, one set of
+    /// agents never goes back").
+    #[test]
+    fn gk_count_is_monotone(k in 2usize..10) {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        let gk = kp.g(k);
+        for p in proto.states() {
+            for q in proto.states() {
+                let (p2, q2) = proto.delta(p, q);
+                let before = u64::from(p == gk) + u64::from(q == gk);
+                let after = u64::from(p2 == gk) + u64::from(q2 == gk);
+                prop_assert!(after >= before,
+                    "rule ({}, {}) -> ({}, {}) consumed a g_k",
+                    proto.state_name(p), proto.state_name(q),
+                    proto.state_name(p2), proto.state_name(q2));
+            }
+        }
+    }
+
+    /// Settled agents in G are immovable except by a matching demolisher:
+    /// the only rules that change a g_i agent's state are rule 9
+    /// ((d_i, g_i) with 2 ≤ i ≤ k−2) and rule 10 ((d_1, g_1)).
+    #[test]
+    fn g_agents_only_move_via_matching_d(k in 3usize..10) {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        for i in 1..=k {
+            let gi = kp.g(i);
+            for p in proto.states() {
+                // gi as the second participant.
+                let (_, q2) = proto.delta(p, gi);
+                if q2 != gi {
+                    prop_assert!(i <= k - 2, "g_{i} moved but has no d_{i}");
+                    prop_assert_eq!(p, kp.d(i), "g_{} moved by non-matching state", i);
+                }
+                // gi as the first participant.
+                let (p2, _) = proto.delta(gi, p);
+                if p2 != gi {
+                    prop_assert!(i <= k - 2);
+                    prop_assert_eq!(p, kp.d(i));
+                }
+            }
+        }
+    }
+
+    /// Free agents never jump straight into a high group: a free agent's
+    /// successor state is in I ∪ {g_i matching the partner's chain
+    /// position} — concretely, from (ini, m_i) it must become exactly
+    /// g_i, and from (ini, ini') exactly g1/m2.
+    #[test]
+    fn recruitment_targets_are_exact(k in 3usize..10) {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        for i in 2..=k - 1 {
+            for x in [kp.initial(), kp.initial_prime()] {
+                let (fx, fm) = proto.delta(x, kp.m(i));
+                prop_assert_eq!(fx, kp.g(i));
+                if i <= k - 2 {
+                    prop_assert_eq!(fm, kp.m(i + 1));
+                } else {
+                    prop_assert_eq!(fm, kp.g(k));
+                }
+            }
+        }
+    }
+
+    /// The stable signature's group sizes match `expected_group_sizes`
+    /// for every (k, n): internal consistency of the two Lemma 6 views.
+    #[test]
+    fn signature_and_expected_sizes_agree(k in 2usize..10, n in 3u64..200) {
+        let kp = UniformKPartition::new(k);
+        let proto = kp.compile();
+        // Construct the canonical stable configuration and check both.
+        let q = n / k as u64;
+        let r = (n % k as u64) as usize;
+        let mut counts = vec![0u64; kp.num_states()];
+        for x in 1..=k {
+            counts[kp.g(x).index()] = if (x as u64) < (r as u64).max(1) { q + 1 } else { q };
+        }
+        if r == 1 {
+            counts[kp.initial().index()] = 1;
+        } else if r >= 2 {
+            counts[kp.m(r).index()] = 1;
+        }
+        prop_assert!(kp.stable_signature(n).matches(&counts));
+        let pop = pp_engine::population::CountPopulation::from_counts(counts);
+        use pp_engine::population::Population;
+        prop_assert_eq!(pop.group_sizes(&proto), kp.expected_group_sizes(n));
+        prop_assert!(kp.lemma1_holds(pop.counts()));
+    }
+}

@@ -1,0 +1,512 @@
+//! Exact expected stabilisation times.
+//!
+//! Under the uniform random scheduler, an execution is a Markov chain on
+//! the configuration space: from configuration `c` with `n` agents, the
+//! ordered state pair `(p, q)` is drawn with probability
+//! `c_p · (c_q − [p = q]) / (n(n − 1))`. The paper *simulates* this chain
+//! and reports sample means; for small instances we can instead solve the
+//! first-step equations exactly:
+//!
+//! ```text
+//! T(c) = 0                                   if c is stable
+//! T(c) = 1 + Σ_{c'} P(c → c') · T(c')        otherwise
+//! ```
+//!
+//! where identity interactions contribute a self-loop `P(c → c)`. The
+//! solver runs Gauss–Seidel sweeps with the self-loop factored out
+//! analytically (`T(c) = (1 + Σ_{c'≠c} P·T(c')) / (1 − P_self)`), which
+//! converges geometrically for absorbing chains.
+//!
+//! This gives an *exact* (up to solver tolerance) reference value for the
+//! paper's §5 metric, against which the simulation harness is
+//! cross-validated in `exact_vs_sim` and the test suite.
+
+use crate::ConfigGraph;
+use pp_engine::protocol::StateId;
+use std::collections::HashMap;
+
+/// Result of an exact hitting-time computation.
+#[derive(Clone, Debug)]
+pub struct HittingTime {
+    /// Expected interactions from the all-`initial` configuration to the
+    /// first stable configuration.
+    pub expected_from_initial: f64,
+    /// Expected interactions from every configuration (indexed by
+    /// configuration id; 0 for stable configurations).
+    pub expected: Vec<f64>,
+    /// Gauss–Seidel sweeps performed.
+    pub sweeps: usize,
+    /// Final maximum relative update (convergence residual).
+    pub residual: f64,
+}
+
+/// First two moments of the hitting time, from the initial configuration.
+///
+/// The second moment satisfies its own first-step equations
+/// `M₂(c) = Σ P(c→c')·E[(1 + T_{c'})²] = 1 + 2·Σ P·T(c') + Σ P·M₂(c')`,
+/// solved by the same Gauss–Seidel machinery once `T` is known. The
+/// standard deviation lets `exact_vs_sim` check the simulator's *spread*,
+/// not just its mean.
+#[derive(Clone, Debug)]
+pub struct HittingMoments {
+    /// `E[T]` from the initial configuration.
+    pub mean: f64,
+    /// Standard deviation of T from the initial configuration.
+    pub std_dev: f64,
+}
+
+/// Errors from the hitting-time solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HittingError {
+    /// No configuration satisfies the stable predicate: the expectation
+    /// is infinite.
+    NoStableConfigs,
+    /// Some configuration cannot reach the stable set (the expectation
+    /// from it — and possibly from the initial configuration — is
+    /// infinite). Carries one such configuration id.
+    StableSetUnreachable(u32),
+    /// The sweep budget was exhausted before reaching the tolerance.
+    NotConverged {
+        /// Residual at the last sweep.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for HittingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HittingError::NoStableConfigs => write!(f, "no stable configurations reachable"),
+            HittingError::StableSetUnreachable(id) => {
+                write!(f, "configuration {id} cannot reach the stable set")
+            }
+            HittingError::NotConverged { residual } => {
+                write!(f, "solver did not converge (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HittingError {}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Stop when the maximum relative update falls below this.
+    pub tolerance: f64,
+    /// Maximum Gauss–Seidel sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-10,
+            max_sweeps: 200_000,
+        }
+    }
+}
+
+/// The probabilistic structure of the chain: stability mask, self-loop
+/// mass, and weighted out-edges per configuration.
+struct ChainStructure {
+    is_stable: Vec<bool>,
+    self_loop: Vec<f64>,
+    edges: Vec<Vec<(u32, f64)>>,
+}
+
+/// Compute the expected number of interactions from the graph's root
+/// configuration (index 0, the all-`initial` one) until the first
+/// configuration satisfying `stable`, under the uniform random
+/// scheduler.
+pub fn expected_interactions<F>(
+    graph: &ConfigGraph<'_>,
+    stable: F,
+    opts: SolverOptions,
+) -> Result<HittingTime, HittingError>
+where
+    F: FnMut(&[u32]) -> bool,
+{
+    let chain = build_chain(graph, stable)?;
+    solve_first_moment(&chain, opts)
+}
+
+/// Compute the exact mean *and standard deviation* of the hitting time
+/// from the initial configuration.
+pub fn hitting_moments<F>(
+    graph: &ConfigGraph<'_>,
+    stable: F,
+    opts: SolverOptions,
+) -> Result<HittingMoments, HittingError>
+where
+    F: FnMut(&[u32]) -> bool,
+{
+    let chain = build_chain(graph, stable)?;
+    let first = solve_first_moment(&chain, opts)?;
+    // Second-moment sweep: M2(c) = (1 + 2·Σ P·T' + Σ_{c'≠c} P·M2(c')
+    //                               + 2·P_self·T(c)) / (1 − P_self)
+    // — derived by expanding E[(1 + T_next)²] with the self-loop term
+    // moved to the left (T(c) appears because a self-loop re-enters c).
+    let num = chain.is_stable.len();
+    let t = &first.expected;
+    let mut m2 = vec![0.0f64; num];
+    let mut sweeps = 0;
+    let mut residual;
+    loop {
+        sweeps += 1;
+        residual = 0.0f64;
+        for id in 0..num {
+            if chain.is_stable[id] {
+                continue;
+            }
+            let mut sum = 1.0;
+            for &(nid, p) in &chain.edges[id] {
+                sum += p * (2.0 * t[nid as usize] + m2[nid as usize]);
+            }
+            sum += chain.self_loop[id] * 2.0 * t[id];
+            let new = sum / (1.0 - chain.self_loop[id]);
+            let delta = (new - m2[id]).abs() / new.max(1.0);
+            if delta > residual {
+                residual = delta;
+            }
+            m2[id] = new;
+        }
+        if residual < opts.tolerance {
+            break;
+        }
+        if sweeps >= opts.max_sweeps {
+            return Err(HittingError::NotConverged { residual });
+        }
+    }
+    let mean = first.expected_from_initial;
+    let var = (m2[0] - mean * mean).max(0.0);
+    Ok(HittingMoments {
+        mean,
+        std_dev: var.sqrt(),
+    })
+}
+
+fn build_chain<F>(graph: &ConfigGraph<'_>, mut stable: F) -> Result<ChainStructure, HittingError>
+where
+    F: FnMut(&[u32]) -> bool,
+{
+    let proto = graph.protocol();
+    let num = graph.num_configs();
+    let n = graph.population_size();
+    assert!(n >= 2, "hitting times need at least two agents");
+    let denom = (n * (n - 1)) as f64;
+
+    // Index configurations for successor lookup.
+    let mut index: HashMap<&[u32], u32> = HashMap::with_capacity(num);
+    for id in 0..num as u32 {
+        index.insert(graph.config(id), id);
+    }
+
+    let is_stable: Vec<bool> = (0..num as u32)
+        .map(|id| stable(graph.config(id)))
+        .collect();
+    if !is_stable.iter().any(|&s| s) {
+        return Err(HittingError::NoStableConfigs);
+    }
+
+    // Build the probabilistic transition structure: for each non-stable
+    // config, the self-loop mass and the out-edges with probabilities.
+    // (The ConfigGraph's successor lists are deduplicated and unweighted,
+    // so probabilities are re-derived from the counts.)
+    let mut self_loop = vec![0.0f64; num];
+    let mut edges: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num];
+    let mut scratch: Vec<u32> = Vec::new();
+    for id in 0..num as u32 {
+        if is_stable[id as usize] {
+            continue;
+        }
+        let cfg = graph.config(id);
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        let mut p_self = 0.0;
+        for (pi, &cp) in cfg.iter().enumerate() {
+            if cp == 0 {
+                continue;
+            }
+            for (qi, &cq) in cfg.iter().enumerate() {
+                let avail = if pi == qi { cq.saturating_sub(1) } else { cq };
+                if avail == 0 {
+                    continue;
+                }
+                let prob = (u64::from(cp) * u64::from(avail)) as f64 / denom;
+                let (p, q) = (StateId(pi as u16), StateId(qi as u16));
+                if proto.is_identity(p, q) {
+                    p_self += prob;
+                    continue;
+                }
+                let (p2, q2) = proto.delta(p, q);
+                scratch.clear();
+                scratch.extend_from_slice(cfg);
+                scratch[p.index()] -= 1;
+                scratch[q.index()] -= 1;
+                scratch[p2.index()] += 1;
+                scratch[q2.index()] += 1;
+                let nid = *index
+                    .get(scratch.as_slice())
+                    .expect("successor must be in the reachable graph");
+                if nid == id {
+                    p_self += prob;
+                } else {
+                    *acc.entry(nid).or_insert(0.0) += prob;
+                }
+            }
+        }
+        self_loop[id as usize] = p_self;
+        edges[id as usize] = acc.into_iter().collect();
+        // A non-stable configuration with no outgoing probability mass to
+        // other configurations and self-loop 1 can never leave itself.
+        if edges[id as usize].is_empty() && p_self >= 1.0 - 1e-12 {
+            return Err(HittingError::StableSetUnreachable(id));
+        }
+    }
+
+    // Quick reachability check: every non-stable config must reach the
+    // stable set (otherwise its expectation is infinite and Gauss–Seidel
+    // would diverge silently). Backward BFS from the stable set over the
+    // unweighted successor lists.
+    {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); num];
+        for id in 0..num as u32 {
+            for &s in graph.successors(id) {
+                preds[s as usize].push(id);
+            }
+        }
+        let mut can_reach = is_stable.clone();
+        let mut stack: Vec<u32> = (0..num as u32)
+            .filter(|&id| is_stable[id as usize])
+            .collect();
+        while let Some(v) = stack.pop() {
+            for &p in &preds[v as usize] {
+                if !can_reach[p as usize] {
+                    can_reach[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        if let Some(bad) = (0..num as u32).find(|&id| !can_reach[id as usize]) {
+            return Err(HittingError::StableSetUnreachable(bad));
+        }
+    }
+
+    Ok(ChainStructure {
+        is_stable,
+        self_loop,
+        edges,
+    })
+}
+
+fn solve_first_moment(
+    chain: &ChainStructure,
+    opts: SolverOptions,
+) -> Result<HittingTime, HittingError> {
+    let num = chain.is_stable.len();
+    let mut t = vec![0.0f64; num];
+    let mut residual = f64::INFINITY;
+    let mut sweeps = 0;
+    while sweeps < opts.max_sweeps {
+        sweeps += 1;
+        residual = 0.0;
+        for id in 0..num {
+            if chain.is_stable[id] {
+                continue;
+            }
+            let mut sum = 1.0;
+            for &(nid, p) in &chain.edges[id] {
+                sum += p * t[nid as usize];
+            }
+            let new = sum / (1.0 - chain.self_loop[id]);
+            let delta = (new - t[id]).abs() / new.max(1.0);
+            if delta > residual {
+                residual = delta;
+            }
+            t[id] = new;
+        }
+        if residual < opts.tolerance {
+            return Ok(HittingTime {
+                expected_from_initial: t[0],
+                expected: t,
+                sweeps,
+                residual,
+            });
+        }
+    }
+    Err(HittingError::NotConverged { residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::spec::ProtocolSpec;
+
+    /// Two-agent pairing: (a, a) -> (b, b). From n agents in `a`, each
+    /// interaction is an (a, a) meeting with probability 1 while ≥ 2 a's
+    /// remain… actually every pair *is* (a, a) until fewer than two
+    /// remain, so the hitting time to all-paired is exactly ⌊n/2⌋ when
+    /// only (a, a) pairs are non-null — but (a, b) null interactions also
+    /// consume steps. Compute the closed form for n = 3 and check.
+    #[test]
+    fn closed_form_three_agents() {
+        let mut spec = ProtocolSpec::new("pairing");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore(&proto, 3, 100).unwrap();
+        // Configurations: (3,0) -> (1,2) -> stuck at (1,2) since only one
+        // `a` remains. Stable predicate: fewer than two a's.
+        let ht = expected_interactions(
+            &graph,
+            |cfg| cfg[0] < 2,
+            SolverOptions::default(),
+        )
+        .unwrap();
+        // From (3,0): P(pick an (a,a) ordered pair) = 3·2/(3·2) = 1, so
+        // exactly one interaction.
+        assert!((ht.expected_from_initial - 1.0).abs() < 1e-9);
+    }
+
+    /// n = 4: from (4,0), the first interaction always pairs two agents
+    /// -> (2,2). From (2,2): P((a,a)) = 2·1/12 = 1/6, other pairs null.
+    /// E = 1 + 6 = 7.
+    #[test]
+    fn closed_form_four_agents() {
+        let mut spec = ProtocolSpec::new("pairing");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore(&proto, 4, 100).unwrap();
+        let ht = expected_interactions(&graph, |cfg| cfg[0] < 2, SolverOptions::default())
+            .unwrap();
+        assert!(
+            (ht.expected_from_initial - 7.0).abs() < 1e-8,
+            "got {}",
+            ht.expected_from_initial
+        );
+    }
+
+    /// Epidemic with one seed on n agents: classic coupon-like sum
+    /// E = Σ_{i=1..n−1} n(n−1)/(2·i·(n−i)).
+    #[test]
+    fn epidemic_matches_closed_form() {
+        let mut spec = ProtocolSpec::new("epidemic");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        let proto = spec.compile().unwrap();
+        for n in [3u64, 5, 8] {
+            let mut start = vec![0u32; 2];
+            start[0] = n as u32 - 1;
+            start[1] = 1;
+            let graph = ConfigGraph::explore_from(&proto, start, 1000).unwrap();
+            let ht = expected_interactions(&graph, |cfg| cfg[0] == 0, SolverOptions::default())
+                .unwrap();
+            let exact: f64 = (1..n)
+                .map(|inf| (n * (n - 1)) as f64 / (2.0 * inf as f64 * (n - inf) as f64))
+                .sum();
+            assert!(
+                (ht.expected_from_initial - exact).abs() < 1e-7,
+                "n={n}: solver {} vs closed form {exact}",
+                ht.expected_from_initial
+            );
+        }
+    }
+
+    /// Moments of a geometric tail: pairing on n = 4 is one deterministic
+    /// step then Geometric(1/6), so T = 1 + G with E[G] = 6 and
+    /// Std[G] = √(1 − p)/p = √30 ≈ 5.4772; the +1 shift leaves the
+    /// standard deviation unchanged.
+    #[test]
+    fn moments_match_geometric_tail() {
+        let mut spec = ProtocolSpec::new("pairing");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore(&proto, 4, 100).unwrap();
+        let m = hitting_moments(&graph, |cfg| cfg[0] < 2, SolverOptions::default()).unwrap();
+        assert!((m.mean - 7.0).abs() < 1e-7);
+        let expected_std = (30.0f64).sqrt();
+        assert!(
+            (m.std_dev - expected_std).abs() < 1e-6,
+            "std {} vs {}",
+            m.std_dev,
+            expected_std
+        );
+    }
+
+    /// A deterministic chain has zero variance: single-path epidemic on
+    /// n = 2 from one infected — exactly one possible interaction, the
+    /// infection, each step with probability 1.
+    #[test]
+    fn deterministic_chain_has_zero_variance() {
+        let mut spec = ProtocolSpec::new("epidemic");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore_from(&proto, vec![1, 1], 100).unwrap();
+        let m = hitting_moments(&graph, |cfg| cfg[0] == 0, SolverOptions::default()).unwrap();
+        assert!((m.mean - 1.0).abs() < 1e-9);
+        assert!(m.std_dev < 1e-6, "std = {}", m.std_dev);
+    }
+
+    #[test]
+    fn unreachable_stable_set_is_detected() {
+        // No rules at all: the start config is the only one; a stable
+        // predicate that rejects it must error.
+        let mut spec = ProtocolSpec::new("inert");
+        let a = spec.add_state("a", 1);
+        spec.set_initial(a);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore(&proto, 3, 10).unwrap();
+        let err = expected_interactions(&graph, |_| false, SolverOptions::default())
+            .unwrap_err();
+        assert_eq!(err, HittingError::NoStableConfigs);
+    }
+
+    #[test]
+    fn trap_configuration_is_detected() {
+        // (a, a) -> (b, b) and (a, c) -> (c, c). From (2, 0, 1) the
+        // all-c stable configuration is reachable via two (a, c) steps,
+        // but the (a, a) step leads to the trap (0, 2, 1), from which
+        // nothing fires: the expectation is infinite and the solver must
+        // say so rather than diverge.
+        let mut spec = ProtocolSpec::new("trap");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let c = spec.add_state("c", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.add_rule_symmetric(a, c, c, c);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore_from(&proto, vec![2, 0, 1], 100).unwrap();
+        let err = expected_interactions(&graph, |cfg| cfg[2] == 3, SolverOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, HittingError::StableSetUnreachable(_)),
+            "{err:?}"
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn stable_start_is_zero() {
+        let mut spec = ProtocolSpec::new("inert");
+        let a = spec.add_state("a", 1);
+        spec.set_initial(a);
+        let proto = spec.compile().unwrap();
+        let graph = ConfigGraph::explore(&proto, 3, 10).unwrap();
+        let ht = expected_interactions(&graph, |_| true, SolverOptions::default()).unwrap();
+        assert_eq!(ht.expected_from_initial, 0.0);
+        assert_eq!(ht.sweeps, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Walk through the paper's worked examples (Figures 1 and 2) step by
+//! step, printing every configuration.
+//!
+//! ```sh
+//! cargo run --example trace_walkthrough
+//! ```
+//!
+//! Figure 1 (§3.1): six agents, `k = 6`. Agents flip between `initial`
+//! and `initial'` until rule 5 creates a chain-builder, which then
+//! recruits everyone — the happy path of the basic strategy.
+//!
+//! Figure 2 (§3.2): starting from a configuration with *two* partial
+//! chains (`m2` and `m4`), rule 8 aborts them into `d1`/`d3` and rules
+//! 9–10 refund the settled agents back to `initial` — the unwind
+//! mechanism that makes the protocol correct.
+
+use pp_engine::trace::ScriptedExecution;
+use uniform_k_partition::prelude::*;
+
+fn show(exec: &ScriptedExecution<'_>, label: &str) {
+    println!("  {label:<24} {}", exec.config_string());
+}
+
+fn main() {
+    let k = 6;
+    let kp = UniformKPartition::new(k);
+    let proto = kp.compile();
+
+    println!("== Figure 1: the basic strategy on n = 6, k = 6\n");
+    let mut exec = ScriptedExecution::new(&proto, 6);
+    show(&exec, "(a) all initial");
+
+    // (a1,a2), (a3,a4), (a5,a6): everyone flips to initial'.
+    exec.interact_all(&[(0, 1), (2, 3), (4, 5)]);
+    show(&exec, "(b) after three flips");
+
+    // (a1,a6), (a2,a3), (a4,a5): everyone flips back — under an unfair
+    // scheduler this could repeat forever; global fairness forbids it.
+    exec.interact_all(&[(0, 5), (1, 2), (3, 4)]);
+    show(&exec, "(c) flipped back");
+
+    // (a5,a6) then (a1,a6): now a1 is initial and a6 is initial', so
+    // rule 5 fires: a1 -> g1, a6 -> m2.
+    exec.interact(4, 5);
+    show(&exec, "(d) a5,a6 flip");
+    exec.interact(0, 5);
+    show(&exec, "(e) rule 5: g1 + m2");
+
+    // a6 recruits a2..a5 in turn (rules 6 then 7), ending in g6 itself.
+    exec.interact(5, 1);
+    exec.interact(5, 2);
+    exec.interact(5, 3);
+    exec.interact(5, 4);
+    show(&exec, "(f) chain complete");
+
+    let sizes = exec.population().group_sizes(&proto);
+    println!("\n  final group sizes: {sizes:?} — one agent per group\n");
+    assert_eq!(sizes, vec![1; 6]);
+
+    println!("== Figure 2: chain collision and unwind (states in D)\n");
+    // Configuration (a) of Figure 2: two chains started concurrently (two
+    // rule-5 firings), so two g1 agents and two m2 builders exist —
+    // consistent with Lemma 1 (#g1 = #m2 + #m4 + ... = 2).
+    let mut exec = ScriptedExecution::from_states(
+        &proto,
+        vec![
+            kp.g(1),       // a1 — first chain's g1
+            kp.g(1),       // a2 — second chain's g1
+            kp.initial(),  // a3
+            kp.initial(),  // a4
+            kp.m(2),       // a5 — first chain's builder
+            kp.m(2),       // a6 — second chain's builder
+        ],
+    );
+    show(&exec, "(a) two chains");
+
+    // a5 absorbs the remaining free agents (rule 6), starving a6's chain:
+    exec.interact(2, 4); // a3 -> g2, a5 -> m3
+    exec.interact(3, 4); // a4 -> g3, a5 -> m4
+    show(&exec, "(c) no free agents left");
+
+    // Rules 1–7 are now all disabled: without rule 8 this would be a
+    // deadlock (the §3.2 failure). Rule 8: the builders collide and abort.
+    exec.interact(4, 5);
+    show(&exec, "(d) rule 8: m4,m2 -> d3,d1");
+
+    // The paper's exact unwind sequence: (a1,a6), (a4,a5), (a3,a5),
+    // (a2,a5) — rules 10 and 9 refund every settled agent.
+    exec.interact(0, 5); // (g1, d1) -> (initial, initial)      [rule 10]
+    show(&exec, "    (a1,a6): d1 refunds g1");
+    exec.interact(3, 4); // (g3, d3) -> (initial, d2)           [rule 9]
+    show(&exec, "    (a4,a5): d3 refunds g3");
+    exec.interact(2, 4); // (g2, d2) -> (initial, d1)           [rule 9]
+    show(&exec, "    (a3,a5): d2 refunds g2");
+    exec.interact(1, 4); // (g1, d1) -> (initial, initial)      [rule 10]
+    show(&exec, "(e) (a2,a5): all initial again");
+
+    use pp_engine::population::Population;
+    assert_eq!(
+        exec.population().count(kp.initial()),
+        6,
+        "Figure 2 (e): every agent is back in the initial state"
+    );
+    assert!(kp.lemma1_holds(exec.population().counts()));
+    println!("\n  aborted chains fully refunded — the population can retry cleanly");
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every experiment artifact at paper fidelity (100 trials).
+# Figure logs + CSVs land in results/. ~30-40 min on one core, dominated
+# by fig6's k >= 12 points.
+set -e
+cd /root/repo
+for bin in fig3 fig4 fig5 ablation_d_states baselines exact_vs_sim variants distributions trajectory; do
+  echo "=== running $bin"
+  cargo run --release -q -p pp-bench --bin $bin > results/$bin.log 2>&1
+done
+echo "=== running fig6 (k up to 16)"
+PP_FIG6_KMAX=16 cargo run --release -q -p pp-bench --bin fig6 > results/fig6.log 2>&1
+echo "ALL EXPERIMENTS DONE"
