@@ -91,7 +91,9 @@ mod tests {
 
     #[test]
     fn power_law_recovers_exponent() {
-        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 5.0 * (i as f64).powf(2.5))).collect();
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (i as f64, 5.0 * (i as f64).powf(2.5)))
+            .collect();
         let (b, r2) = power_law_exponent(&pts);
         assert!((b - 2.5).abs() < 1e-9);
         assert!(r2 > 0.999);

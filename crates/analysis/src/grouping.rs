@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn increments_and_tail() {
-        let trials = vec![
-            trial(vec![10, 30, 60], 70),
-            trial(vec![20, 40, 80], 100),
-        ];
+        let trials = vec![trial(vec![10, 30, 60], 70), trial(vec![20, 40, 80], 100)];
         let b = grouping_breakdown(&trials);
         assert_eq!(b.trials_used, 2);
         assert_eq!(b.increments.len(), 3);

@@ -45,7 +45,11 @@ impl Histogram {
         assert!(!samples.is_empty(), "cannot fit an empty sample");
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let hi = if lo == hi { lo + 1.0 } else { hi * (1.0 + 1e-12) + 1e-12 };
+        let hi = if lo == hi {
+            lo + 1.0
+        } else {
+            hi * (1.0 + 1e-12) + 1e-12
+        };
         let mut h = Histogram::with_bounds(lo, hi, num_bins);
         for &x in samples {
             h.add(x);

@@ -69,6 +69,34 @@ impl TrialBatch {
     }
 }
 
+/// Run one trial with an already-derived `seed`, returning the
+/// interactions to stability or `None` if the run hit `max_interactions`
+/// (censored). This is the unit of work both the batch runners below and
+/// `pp-sweep`'s journaled executor share: trial `i` of a batch is exactly
+/// `run_trial(.., seeds::derive(master_seed, i), ..)`, so a resumed sweep
+/// reproduces a fresh one bit for bit.
+///
+/// # Panics
+/// On any simulator error other than the interaction budget.
+pub fn run_trial<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    seed: u64,
+    max_interactions: u64,
+) -> Option<u64>
+where
+    C: StabilityCriterion,
+{
+    let mut pop = CountPopulation::new(proto, n);
+    let mut sched = UniformRandomScheduler::from_seed(seed);
+    match Simulator::new(proto).run(&mut pop, &mut sched, criterion, max_interactions) {
+        Ok(r) => Some(r.interactions),
+        Err(RunError::InteractionLimit { .. }) => None,
+        Err(e) => panic!("trial failed: {e}"),
+    }
+}
+
 /// Run `cfg.trials` independent executions of `proto` with `n` agents
 /// (all starting in the initial state) and the given stability criterion,
 /// in parallel. See module docs for the determinism guarantee.
@@ -81,24 +109,24 @@ pub fn run_trials<C>(
 where
     C: StabilityCriterion + Sync,
 {
-    let results: Vec<Result<u64, RunError>> = (0..cfg.trials as u64)
+    let results: Vec<Option<u64>> = (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            let mut pop = CountPopulation::new(proto, n);
-            let mut sched =
-                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
-            Simulator::new(proto)
-                .run(&mut pop, &mut sched, criterion, cfg.max_interactions)
-                .map(|r| r.interactions)
+            run_trial(
+                proto,
+                n,
+                criterion,
+                seeds::derive(cfg.master_seed, i),
+                cfg.max_interactions,
+            )
         })
         .collect();
     let mut interactions = Vec::with_capacity(results.len());
     let mut censored = 0;
     for r in results {
         match r {
-            Ok(x) => interactions.push(x),
-            Err(RunError::InteractionLimit { .. }) => censored += 1,
-            Err(e) => panic!("trial failed: {e}"),
+            Some(x) => interactions.push(x),
+            None => censored += 1,
         }
     }
     TrialBatch {
@@ -124,30 +152,52 @@ where
     (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            let mut pop = CountPopulation::new(proto, n);
-            let mut sched =
-                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
-            let mut obs = pp_engine::observer::GroupCompletionObserver::new(watched_state);
-            let res = Simulator::new(proto).run_observed(
-                &mut pop,
-                &mut sched,
+            run_trial_watching(
+                proto,
+                n,
                 criterion,
+                watched_state,
+                seeds::derive(cfg.master_seed, i),
                 cfg.max_interactions,
-                &mut obs,
-            );
-            match res {
-                Ok(r) => WatchedTrial {
-                    total: Some(r.interactions),
-                    completions: obs.into_completions(),
-                },
-                Err(RunError::InteractionLimit { .. }) => WatchedTrial {
-                    total: None,
-                    completions: obs.into_completions(),
-                },
-                Err(e) => panic!("trial failed: {e}"),
-            }
+            )
         })
         .collect()
+}
+
+/// Single-trial form of [`run_trials_watching`] with an already-derived
+/// `seed` (see [`run_trial`]).
+pub fn run_trial_watching<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    watched_state: pp_engine::protocol::StateId,
+    seed: u64,
+    max_interactions: u64,
+) -> WatchedTrial
+where
+    C: StabilityCriterion,
+{
+    let mut pop = CountPopulation::new(proto, n);
+    let mut sched = UniformRandomScheduler::from_seed(seed);
+    let mut obs = pp_engine::observer::GroupCompletionObserver::new(watched_state);
+    let res = Simulator::new(proto).run_observed(
+        &mut pop,
+        &mut sched,
+        criterion,
+        max_interactions,
+        &mut obs,
+    );
+    match res {
+        Ok(r) => WatchedTrial {
+            total: Some(r.interactions),
+            completions: obs.into_completions(),
+        },
+        Err(RunError::InteractionLimit { .. }) => WatchedTrial {
+            total: None,
+            completions: obs.into_completions(),
+        },
+        Err(e) => panic!("trial failed: {e}"),
+    }
 }
 
 /// One instrumented trial: completion times of each watched-state
@@ -187,26 +237,41 @@ where
     (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            let mut pop = CountPopulation::new(proto, n);
-            let mut sched =
-                UniformRandomScheduler::from_seed(seeds::derive(cfg.master_seed, i));
-            let res = Simulator::new(proto).run(
-                &mut pop,
-                &mut sched,
+            run_trial_full(
+                proto,
+                n,
                 criterion,
+                seeds::derive(cfg.master_seed, i),
                 cfg.max_interactions,
-            );
-            use pp_engine::population::Population;
-            TrialOutcome {
-                interactions: match res {
-                    Ok(r) => Some(r.interactions),
-                    Err(RunError::InteractionLimit { .. }) => None,
-                    Err(e) => panic!("trial failed: {e}"),
-                },
-                final_counts: pop.counts().to_vec(),
-            }
+            )
         })
         .collect()
+}
+
+/// Single-trial form of [`run_trials_full`] with an already-derived
+/// `seed` (see [`run_trial`]).
+pub fn run_trial_full<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    seed: u64,
+    max_interactions: u64,
+) -> TrialOutcome
+where
+    C: StabilityCriterion,
+{
+    let mut pop = CountPopulation::new(proto, n);
+    let mut sched = UniformRandomScheduler::from_seed(seed);
+    let res = Simulator::new(proto).run(&mut pop, &mut sched, criterion, max_interactions);
+    use pp_engine::population::Population;
+    TrialOutcome {
+        interactions: match res {
+            Ok(r) => Some(r.interactions),
+            Err(RunError::InteractionLimit { .. }) => None,
+            Err(e) => panic!("trial failed: {e}"),
+        },
+        final_counts: pop.counts().to_vec(),
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,41 @@ impl Table {
         out
     }
 
+    /// The canonical summary-statistics column block emitted by
+    /// [`Table::push_summary_row`]; splice into a header list after the
+    /// sweep-specific key columns.
+    pub const SUMMARY_HEADERS: [&'static str; 8] = [
+        "trials", "mean", "std", "sem", "min", "median", "max", "censored",
+    ];
+
+    /// Append a row of `prefix` key cells, the canonical
+    /// [`Summary`](crate::stats::Summary) block (count, mean, std, sem,
+    /// min, median, max, censored), and any `suffix` cells — the shape
+    /// every per-cell experiment table shares. The table's headers must
+    /// have been built with [`Table::SUMMARY_HEADERS`] in the matching
+    /// position, which `row`'s width check enforces.
+    pub fn push_summary_row(
+        &mut self,
+        prefix: Vec<String>,
+        s: &crate::stats::Summary,
+        censored: usize,
+        suffix: Vec<String>,
+    ) -> &mut Self {
+        let mut cells = prefix;
+        cells.extend([
+            s.count.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.std_dev),
+            fmt_f64(s.sem),
+            fmt_f64(s.min),
+            fmt_f64(s.median),
+            fmt_f64(s.max),
+            censored.to_string(),
+        ]);
+        cells.extend(suffix);
+        self.row(cells)
+    }
+
     /// Write the CSV form to `path`, creating parent directories.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
@@ -157,6 +192,19 @@ mod tests {
         let read = std::fs::read_to_string(&path).unwrap();
         assert_eq!(read, "x\n1\n");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn push_summary_row_matches_canonical_headers() {
+        let mut headers: Vec<String> = vec!["k".into(), "n".into()];
+        headers.extend(Table::SUMMARY_HEADERS.iter().map(|h| h.to_string()));
+        headers.push("extra".into());
+        let mut t = Table::new(headers);
+        let s = crate::stats::Summary::of_u64(&[10, 20, 30]);
+        t.push_summary_row(vec!["4".into(), "96".into()], &s, 2, vec!["tail".into()]);
+        let csv = t.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row, "4,96,3,20,10,5.774,10,20,30,2,tail");
     }
 
     #[test]

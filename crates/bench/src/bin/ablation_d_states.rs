@@ -1,104 +1,12 @@
-//! Ablation: what the `D` states buy (paper §3.2, Figure 2's narrative,
-//! quantified).
+//! Ablation: the §3.2 "basic strategy" (rules 1–7, no D states) vs the
+//! full protocol — deadlock rate and imbalance of silent-but-wrong
+//! outcomes.
 //!
-//! Runs the "basic strategy" protocol (rules 1–7, no chain abort/unwind)
-//! under the uniform random scheduler. Without rules 8–10 the population
-//! can deadlock with several partial chains and no free agents; the run
-//! then ends in a *silent but non-uniform* configuration. For each
-//! `(n, k)` we report the deadlock rate, the mean/max group imbalance of
-//! failed runs, and — for context — the cost of the full protocol on the
-//! same cell.
-//!
-//! Output: markdown table + `results/ablation_d_states.csv`.
-
-use pp_analysis::experiments::kpartition_cell;
-use pp_analysis::runner::{run_trials_full, TrialConfig};
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
-use pp_engine::population::CountPopulation;
-use pp_engine::population::Population;
-use pp_engine::seeds;
-use pp_engine::stability::Silent;
-use pp_protocols::kpartition::ablation::BasicStrategyKPartition;
+//! Thin wrapper over the `ablation_d_states` sweep plan
+//! (`pp_sweep::plans::ablation_d_states`): equivalent to `pp-sweep run
+//! ablation_d_states`, so runs are cached, resumable, and parallel across
+//! cells. See that module for the cell grid and CSV schema.
 
 fn main() {
-    common::banner(
-        "Ablation",
-        "basic strategy (rules 1-7) vs full protocol: deadlock rate and imbalance",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-
-    let cells: Vec<(usize, u64)> = vec![(3, 12), (4, 12), (4, 24), (5, 20), (6, 24), (8, 32)];
-    let mut table = Table::new(vec![
-        "k",
-        "n",
-        "deadlock rate",
-        "mean imbalance (failed)",
-        "max imbalance",
-        "mean interactions (basic)",
-        "mean interactions (full)",
-    ]);
-
-    for &(k, n) in &cells {
-        let bp = BasicStrategyKPartition::new(k);
-        let proto = bp.compile();
-        let cfg = TrialConfig {
-            trials,
-            master_seed: seeds::derive_labelled(seed, k as u64, n),
-            max_interactions: 1_000_000_000,
-        };
-        let outcomes = run_trials_full(&proto, n, &Silent, cfg);
-
-        let mut deadlocks = 0usize;
-        let mut imbalance_sum = 0u64;
-        let mut imbalance_max = 0u64;
-        let mut interactions_sum = 0u64;
-        let mut completed = 0usize;
-        for o in &outcomes {
-            if let Some(x) = o.interactions {
-                interactions_sum += x;
-                completed += 1;
-            }
-            let pop = CountPopulation::from_counts(o.final_counts.clone());
-            let sizes = pop.group_sizes(&proto);
-            let imb = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
-            if bp.is_deadlocked(o.final_counts.as_slice()) {
-                deadlocks += 1;
-                imbalance_sum += imb;
-                imbalance_max = imbalance_max.max(imb);
-            } else {
-                assert!(imb <= 1, "non-deadlocked basic run must be uniform");
-            }
-        }
-        let full = kpartition_cell(k, n, trials, seed);
-
-        table.row(vec![
-            k.to_string(),
-            n.to_string(),
-            format!("{:.2}", deadlocks as f64 / outcomes.len() as f64),
-            if deadlocks > 0 {
-                fmt_f64(imbalance_sum as f64 / deadlocks as f64)
-            } else {
-                "-".to_string()
-            },
-            imbalance_max.to_string(),
-            if completed > 0 {
-                fmt_f64(interactions_sum as f64 / completed as f64)
-            } else {
-                "-".to_string()
-            },
-            fmt_f64(full.summary().mean),
-        ]);
-    }
-
-    println!("{}", table.to_markdown());
-    println!(
-        "A non-zero deadlock rate confirms §3.2: rules 1-7 alone do not solve uniform \
-         k-partition; the D states (rules 8-10) are what make every globally fair \
-         execution stabilise uniformly."
-    );
-    let path = common::results_path("ablation_d_states.csv");
-    table.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("ablation_d_states");
 }

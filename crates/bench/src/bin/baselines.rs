@@ -1,197 +1,11 @@
-//! Baseline comparison: the paper's protocol vs the two alternatives its
-//! introduction discusses.
+//! Baseline comparison: the paper's protocol vs composed bipartition and
+//! the approximate-partition stand-in (interactions + uniformity).
 //!
-//! * **Composed bipartition** (`k = 2^h`): the strawman "repeat
-//!   bipartition h times". Same `3k − 2` state count, but the naive
-//!   composition loses exact uniformity when cohort sizes go odd —
-//!   measured here as the worst group imbalance over trials.
-//! * **Approximate k-partition** (stand-in for Delporte-Gallet et al.,
-//!   every group ≥ `n/(2k)`): faster to stabilise, much weaker
-//!   uniformity.
-//!
-//! For each protocol and `(k, n)` cell we report state count, mean
-//! interactions to its own stability criterion, mean and max group
-//! imbalance (`max − min` group size), and the `n/(2k)` guarantee check.
-//!
-//! Output: markdown table + `results/baselines.csv`.
-
-use pp_analysis::runner::{run_trials_full, TrialConfig, TrialOutcome};
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
-use pp_engine::population::{CountPopulation, Population};
-use pp_engine::protocol::CompiledProtocol;
-use pp_engine::seeds;
-use pp_engine::stability::StabilityCriterion;
-use pp_protocols::hierarchical::HierarchicalPartition;
-use pp_protocols::kpartition::UniformKPartition;
-
-struct Row {
-    protocol: &'static str,
-    k: usize,
-    n: u64,
-    states: usize,
-    mean_interactions: f64,
-    mean_imbalance: f64,
-    max_imbalance: u64,
-    min_group_ok: bool,
-}
-
-fn measure<C: StabilityCriterion + Sync>(
-    name: &'static str,
-    proto: &CompiledProtocol,
-    criterion: &C,
-    k: usize,
-    n: u64,
-    trials: usize,
-    seed: u64,
-) -> Row {
-    let cfg = TrialConfig {
-        trials,
-        master_seed: seeds::derive_labelled(seed, k as u64, n),
-        max_interactions: 1_000_000_000_000,
-    };
-    let outcomes: Vec<TrialOutcome> = run_trials_full(proto, n, criterion, cfg);
-    let mut sum_inter = 0u64;
-    let mut completed = 0usize;
-    let mut sum_imb = 0u64;
-    let mut max_imb = 0u64;
-    let mut min_group_ok = true;
-    for o in &outcomes {
-        if let Some(x) = o.interactions {
-            sum_inter += x;
-            completed += 1;
-        }
-        let pop = CountPopulation::from_counts(o.final_counts.clone());
-        let sizes = pop.group_sizes(proto);
-        let imb = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
-        sum_imb += imb;
-        max_imb = max_imb.max(imb);
-        if sizes.iter().any(|&s| s < n / (2 * k as u64)) {
-            min_group_ok = false;
-        }
-    }
-    assert_eq!(completed, outcomes.len(), "{name}: censored trials");
-    Row {
-        protocol: name,
-        k,
-        n,
-        states: proto.num_states(),
-        mean_interactions: sum_inter as f64 / completed as f64,
-        mean_imbalance: sum_imb as f64 / outcomes.len() as f64,
-        max_imbalance: max_imb,
-        min_group_ok,
-    }
-}
+//! Thin wrapper over the `baselines` sweep plan
+//! (`pp_sweep::plans::baselines`): equivalent to `pp-sweep run
+//! baselines`, so runs are cached, resumable, and parallel across cells.
+//! See that module for the comparison grid and CSV schema.
 
 fn main() {
-    common::banner(
-        "Baselines",
-        "paper's protocol vs composed bipartition vs approximate partition",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-
-    let mut table = Table::new(vec![
-        "protocol",
-        "k",
-        "n",
-        "states",
-        "mean interactions",
-        "mean imbalance",
-        "max imbalance",
-        "every group >= n/2k",
-    ]);
-
-    let push = |r: Row, table: &mut Table| {
-        table.row(vec![
-            r.protocol.to_string(),
-            r.k.to_string(),
-            r.n.to_string(),
-            r.states.to_string(),
-            fmt_f64(r.mean_interactions),
-            fmt_f64(r.mean_imbalance),
-            r.max_imbalance.to_string(),
-            if r.min_group_ok { "yes" } else { "NO" }.to_string(),
-        ]);
-    };
-
-    // Power-of-two k: paper's protocol vs the composed-bipartition
-    // strawman (identical state count, 3k − 2). 96 and 480 are divisible
-    // by 2^h (composed splits evenly); 99 ≡ 3 (mod 4) strands agents at
-    // two levels of the same root-to-leaf path, pushing the composed
-    // baseline's imbalance to 2 — beyond the ±1 the problem demands.
-    for (k, n) in [(4usize, 96u64), (4, 99), (4, 480), (8, 96), (8, 99), (8, 480)] {
-        let kp = UniformKPartition::new(k);
-        let proto = kp.compile();
-        push(
-            measure(
-                "uniform-k-partition (paper)",
-                &proto,
-                &kp.stable_signature(n),
-                k,
-                n,
-                trials,
-                seed,
-            ),
-            &mut table,
-        );
-        let hp = HierarchicalPartition::composed(k.trailing_zeros());
-        let cproto = hp.compile();
-        push(
-            measure(
-                "composed bipartition (2^h)",
-                &cproto,
-                &hp.stability(),
-                k,
-                n,
-                trials,
-                seed,
-            ),
-            &mut table,
-        );
-    }
-
-    // Non-power-of-two k: the composition does not even exist; the
-    // approximate baseline (fold 2^⌈log k⌉ leaves onto k groups) is the
-    // only prior-work comparator, with its much weaker n/(2k) floor.
-    for (k, n) in [(6usize, 96u64), (6, 480), (5, 100)] {
-        let kp = UniformKPartition::new(k);
-        let proto = kp.compile();
-        push(
-            measure(
-                "uniform-k-partition (paper)",
-                &proto,
-                &kp.stable_signature(n),
-                k,
-                n,
-                trials,
-                seed,
-            ),
-            &mut table,
-        );
-        let hp = HierarchicalPartition::approx(k);
-        let aproto = hp.compile();
-        push(
-            measure(
-                "approximate (>= n/2k)",
-                &aproto,
-                &hp.stability(),
-                k,
-                n,
-                trials,
-                seed,
-            ),
-            &mut table,
-        );
-    }
-
-    println!("{}", table.to_markdown());
-    println!(
-        "Reading: only the paper's protocol keeps max imbalance <= 1; the composed \
-         baseline trades uniformity for (sometimes) fewer interactions, and the \
-         approximate baseline only promises the n/(2k) floor."
-    );
-    let path = common::results_path("baselines.csv");
-    table.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("baselines");
 }

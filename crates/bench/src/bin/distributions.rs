@@ -1,64 +1,11 @@
-//! Stabilisation-time *distributions* (the paper reports only means).
+//! Stabilisation-time distributions: the full spread behind the paper's
+//! mean curves (right-skewed by concurrent chain collisions).
 //!
-//! For a few representative cells, prints the full histogram of
-//! interactions-to-stability across trials, plus summary quantiles. The
-//! distributions are right-skewed — a run that spawns many concurrent
-//! chains pays for every rule-8 collision and unwind — which is why the
-//! paper's mean curves are noticeably above the medians reported here.
-//!
-//! Output: `results/distributions.csv` with one row per (k, n, trial).
-
-use pp_analysis::experiments::kpartition_cell;
-use pp_analysis::histogram::{sparkline, Histogram};
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
+//! Thin wrapper over the `distributions` sweep plan
+//! (`pp_sweep::plans::distributions`): equivalent to `pp-sweep run
+//! distributions`, so runs are cached, resumable, and parallel across
+//! cells. See that module for the cell grid and CSV schema.
 
 fn main() {
-    common::banner(
-        "Distributions",
-        "full spread of interactions-to-stability (the paper plots means only)",
-    );
-    let trials = common::trials().max(100);
-    let seed = common::master_seed();
-
-    let mut csv = Table::new(vec!["k", "n", "trial", "interactions"]);
-    let mut summary = Table::new(vec![
-        "k", "n", "mean", "median", "min", "max", "max/median", "shape",
-    ]);
-
-    for (k, n) in [(3usize, 60u64), (4, 60), (6, 60), (4, 240)] {
-        let cell = kpartition_cell(k, n, trials, seed);
-        let s = cell.summary();
-        let samples: Vec<f64> = cell.batch.interactions.iter().map(|&x| x as f64).collect();
-        let hist = Histogram::fit(&samples, 12);
-        println!("### k = {k}, n = {n} ({} trials)\n", samples.len());
-        println!("{}", hist.to_ascii(40));
-        summary.row(vec![
-            k.to_string(),
-            n.to_string(),
-            fmt_f64(s.mean),
-            fmt_f64(s.median),
-            fmt_f64(s.min),
-            fmt_f64(s.max),
-            format!("{:.1}", s.max / s.median),
-            sparkline(hist.bins()),
-        ]);
-        for (i, &x) in cell.batch.interactions.iter().enumerate() {
-            csv.row(vec![
-                k.to_string(),
-                n.to_string(),
-                i.to_string(),
-                x.to_string(),
-            ]);
-        }
-    }
-
-    println!("{}", summary.to_markdown());
-    println!(
-        "Right skew throughout: means sit above medians and worst cases run \
-         several times the typical — concurrent chain collisions are the tail."
-    );
-    let path = common::results_path("distributions.csv");
-    csv.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("distributions");
 }

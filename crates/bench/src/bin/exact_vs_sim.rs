@@ -26,8 +26,16 @@ fn main() {
     let seed = common::master_seed();
 
     let mut table = Table::new(vec![
-        "k", "n", "configs", "optimal", "exact E[T]", "exact std", "sim mean", "sim std",
-        "sim sem", "z-score",
+        "k",
+        "n",
+        "configs",
+        "optimal",
+        "exact E[T]",
+        "exact std",
+        "sim mean",
+        "sim std",
+        "sim sem",
+        "z-score",
     ]);
 
     for (k, n) in [

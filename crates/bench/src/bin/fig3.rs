@@ -1,58 +1,12 @@
 //! Figure 3 reproduction: mean interactions to stability vs population
-//! size `n`, for `k ∈ {4, 6, 8}`, sweeping consecutive `n`.
+//! size `n`, for `k ∈ {4, 6, 8}` — the sawtooth with period `k` driven by
+//! `n mod k`.
 //!
-//! The paper's observations to look for in the output:
-//! * interaction counts grow with `n` overall, but *non-monotonically*:
-//!   the count dips after each multiple of `k` and climbs steeply toward
-//!   the next one — a sawtooth with period `k` driven by `n mod k`;
-//! * the `n mod k ∈ {0, 1}` cells are locally the most expensive (the
-//!   final grouping must scavenge the last free agents).
-//!
-//! Output: one markdown table per `k` and `results/fig3_k<k>.csv` with
-//! columns `k,n,n_mod_k,trials,mean,std,sem,min,median,max,censored`.
-//!
-//! Grid: `n` from `k + 2` to 96 (every value, to expose the sawtooth).
-//! Override trials/seed with `PP_TRIALS`/`PP_SEED`.
-
-use pp_analysis::experiments::kpartition_cell;
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
+//! Thin wrapper over the `fig3` sweep plan (`pp_sweep::plans::fig3`):
+//! equivalent to `pp-sweep run fig3`, so runs are cached, resumable, and
+//! parallel across cells. See that module for the cell grid and CSV
+//! schema.
 
 fn main() {
-    common::banner(
-        "Figure 3",
-        "interactions vs n for k in {4, 6, 8} (sawtooth with period k)",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-
-    for k in [4usize, 6, 8] {
-        let mut table = Table::new(vec![
-            "k", "n", "n mod k", "trials", "mean", "std", "sem", "min", "median", "max",
-            "censored",
-        ]);
-        let ns: Vec<u64> = ((k as u64 + 2)..=96).collect();
-        for &n in &ns {
-            let cell = kpartition_cell(k, n, trials, seed);
-            let s = cell.summary();
-            table.row(vec![
-                k.to_string(),
-                n.to_string(),
-                (n % k as u64).to_string(),
-                s.count.to_string(),
-                fmt_f64(s.mean),
-                fmt_f64(s.std_dev),
-                fmt_f64(s.sem),
-                fmt_f64(s.min),
-                fmt_f64(s.median),
-                fmt_f64(s.max),
-                cell.batch.censored.to_string(),
-            ]);
-        }
-        println!("### k = {k}\n");
-        println!("{}", table.to_markdown());
-        let path = common::results_path(&format!("fig3_k{k}.csv"));
-        table.write_csv(&path).expect("write csv");
-        println!("wrote {}\n", path.display());
-    }
+    pp_sweep::cli::delegate("fig3");
 }

@@ -1,80 +1,11 @@
-//! Figure 4 reproduction: decomposition of the interaction count into the
-//! cost of each *i-th grouping* (`NI'_i = NI_i − NI_{i−1}`, where `NI_i`
-//! is the interaction at which `#g_k` first reaches `i`), plus the tail
-//! spent settling the `n mod k` leftover agents.
+//! Figure 4 reproduction: decomposition of the interaction count into
+//! per-grouping increments `NI'_i` plus the remainder tail.
 //!
-//! The paper's observations to look for:
-//! * `NI'_1 < NI'_2 < …` — each successive grouping costs more, because
-//!   fewer free agents remain to feed the chain;
-//! * for `n = c·k + j` with `j ∈ {2, …, k+1}` the cost of the final
-//!   `(c+1)`-th grouping climbs steeply with `j` and dominates the total
-//!   near `j ∈ {k, k+1}` (i.e. `n mod k ∈ {0, 1}`) — the source of
-//!   Figure 3's sawtooth.
-//!
-//! Output: per `k`, a markdown table for one period of `n` around the
-//! paper's emphasised region, and `results/fig4_k<k>.csv` with every
-//! `(n, segment)` mean over the full Figure 3 grid.
-
-use pp_analysis::experiments::kpartition_grouping_cell;
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
+//! Thin wrapper over the `fig4` sweep plan (`pp_sweep::plans::fig4`):
+//! equivalent to `pp-sweep run fig4`, so runs are cached, resumable, and
+//! parallel across cells. See that module for the cell grid and CSV
+//! schema.
 
 fn main() {
-    common::banner(
-        "Figure 4",
-        "interactions per i-th grouping (stacked decomposition)",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-
-    for k in [4usize, 6, 8] {
-        let ku = k as u64;
-        let mut csv = Table::new(vec!["k", "n", "segment", "mean", "sem"]);
-        // Full grid for the CSV (matching fig3's range)…
-        let ns: Vec<u64> = ((ku + 2)..=96).collect();
-        // …and one highlighted period 4k+2 ..= 5k+1 for the console.
-        let show: Vec<u64> = ((4 * ku + 2)..=(5 * ku + 1)).collect();
-        let mut shown = Table::new(vec![
-            "n", "groupings", "NI'_1", "NI'_last", "tail", "total",
-        ]);
-        for &n in &ns {
-            let cell = kpartition_grouping_cell(k, n, trials, seed);
-            let b = &cell.breakdown;
-            for (i, s) in b.increments.iter().enumerate() {
-                csv.row(vec![
-                    k.to_string(),
-                    n.to_string(),
-                    format!("NI'_{}", i + 1),
-                    fmt_f64(s.mean),
-                    fmt_f64(s.sem),
-                ]);
-            }
-            csv.row(vec![
-                k.to_string(),
-                n.to_string(),
-                "tail".to_string(),
-                fmt_f64(b.tail.mean),
-                fmt_f64(b.tail.sem),
-            ]);
-            if show.contains(&n) {
-                shown.row(vec![
-                    n.to_string(),
-                    b.increments.len().to_string(),
-                    fmt_f64(b.increments.first().map_or(0.0, |s| s.mean)),
-                    fmt_f64(b.increments.last().map_or(0.0, |s| s.mean)),
-                    fmt_f64(b.tail.mean),
-                    fmt_f64(b.mean_total()),
-                ]);
-            }
-        }
-        println!(
-            "### k = {k} — one period n = {}..{} (NI'_last dominating near n mod k ∈ {{0,1}})\n",
-            4 * ku + 2,
-            5 * ku + 1
-        );
-        println!("{}", shown.to_markdown());
-        let path = common::results_path(&format!("fig4_k{k}.csv"));
-        csv.write_csv(&path).expect("write csv");
-        println!("wrote {}\n", path.display());
-    }
+    pp_sweep::cli::delegate("fig4");
 }

@@ -1,71 +1,11 @@
-//! Figure 5 reproduction: mean interactions vs `n = 120·n'`
-//! (`n' ∈ 1..=8`) for `k ∈ {3, 4, 5, 6}`, with `n mod k = 0` throughout
-//! to suppress the remainder sawtooth of Figure 3.
+//! Figure 5 reproduction: mean interactions vs `n = 120·n'` for
+//! `k ∈ {3,4,5,6}` with `n mod k = 0` — superlinear but subexponential.
 //!
-//! The paper's observation: growth in `n` is "more than linear but less
-//! than exponential". We print the measured means, the successive growth
-//! ratios (decaying toward 1 ⇒ subexponential), and a power-law fit
-//! `mean ∝ n^b` per `k` (finite b with high r² ⇒ polynomial).
-//!
-//! Output: a `k × n` markdown matrix, the per-`k` fits, and
-//! `results/fig5.csv` with `k,n,trials,mean,std,sem,censored`.
-
-use pp_analysis::experiments::kpartition_cell;
-use pp_analysis::fit;
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
+//! Thin wrapper over the `fig5` sweep plan (`pp_sweep::plans::fig5`):
+//! equivalent to `pp-sweep run fig5`, so runs are cached, resumable, and
+//! parallel across cells. See that module for the cell grid and CSV
+//! schema.
 
 fn main() {
-    common::banner(
-        "Figure 5",
-        "interactions vs n = 120·n' for k in {3,4,5,6} (n mod k = 0)",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-    let ns: Vec<u64> = (1..=8).map(|np| 120 * np).collect();
-    let ks = [3usize, 4, 5, 6];
-
-    let mut csv = Table::new(vec!["k", "n", "trials", "mean", "std", "sem", "censored"]);
-    let mut matrix = Table::new(
-        std::iter::once("k / n".to_string())
-            .chain(ns.iter().map(|n| n.to_string()))
-            .collect::<Vec<_>>(),
-    );
-    let mut fits = Table::new(vec!["k", "power-law exponent b", "r^2"]);
-
-    for &k in &ks {
-        let mut row = vec![k.to_string()];
-        let mut points: Vec<(f64, f64)> = Vec::new();
-        for &n in &ns {
-            let cell = kpartition_cell(k, n, trials, seed);
-            let s = cell.summary();
-            row.push(fmt_f64(s.mean));
-            points.push((n as f64, s.mean));
-            csv.row(vec![
-                k.to_string(),
-                n.to_string(),
-                s.count.to_string(),
-                fmt_f64(s.mean),
-                fmt_f64(s.std_dev),
-                fmt_f64(s.sem),
-                cell.batch.censored.to_string(),
-            ]);
-        }
-        matrix.row(row);
-        let (b, r2) = fit::power_law_exponent(&points);
-        fits.row(vec![k.to_string(), fmt_f64(b), fmt_f64(r2)]);
-        let ratios = fit::growth_ratios(&points.iter().map(|p| p.1).collect::<Vec<_>>());
-        println!(
-            "k = {k}: growth ratios per n-doubling step {:?}",
-            ratios.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>()
-        );
-    }
-
-    println!("\n### Mean interactions (rows: k, columns: n)\n");
-    println!("{}", matrix.to_markdown());
-    println!("### Power-law fits mean ∝ n^b (superlinear, subexponential expected)\n");
-    println!("{}", fits.to_markdown());
-    let path = common::results_path("fig5.csv");
-    csv.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("fig5");
 }

@@ -1,69 +1,11 @@
-//! Figure 6 reproduction: mean interactions vs `k` at fixed `n = 960`
-//! (the paper plots this on a log axis), over the divisors of 960 so that
-//! `n mod k = 0` throughout.
+//! Figure 6 reproduction: mean interactions vs `k` at `n = 960` —
+//! exponential in `k`. Extend the grid with `PP_FIG6_KMAX=16`.
 //!
-//! The paper's observation: growth is *exponential in k* — each chain
-//! must recruit `k − 2` free agents without colliding with another
-//! chain-builder, whose probability shrinks exponentially with `k`. We
-//! print means, successive growth ratios (roughly constant > 1 ⇒
-//! exponential), and a semi-log fit `mean ∝ c^k`.
-//!
-//! Default grid `k ∈ {2, 3, 4, 5, 6, 8, 10, 12}`; extend with
-//! `PP_FIG6_KMAX=16` (15 and 16 are the remaining divisors ≤ 16; expect
-//! minutes per added k at 100 trials). Output: markdown table +
-//! `results/fig6.csv`.
-
-use pp_analysis::experiments::kpartition_cell;
-use pp_analysis::fit;
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
+//! Thin wrapper over the `fig6` sweep plan (`pp_sweep::plans::fig6`):
+//! equivalent to `pp-sweep run fig6`, so runs are cached, resumable, and
+//! parallel across cells. See that module for the cell grid and CSV
+//! schema.
 
 fn main() {
-    common::banner("Figure 6", "interactions vs k at n = 960 (log scale)");
-    let trials = common::trials();
-    let seed = common::master_seed();
-    let kmax: usize = std::env::var("PP_FIG6_KMAX")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12);
-    let ks: Vec<usize> = [2usize, 3, 4, 5, 6, 8, 10, 12, 15, 16]
-        .into_iter()
-        .filter(|&k| k <= kmax)
-        .collect();
-    let n = 960u64;
-
-    let mut table = Table::new(vec![
-        "k", "trials", "mean", "log10(mean)", "std", "sem", "censored",
-    ]);
-    let mut points: Vec<(f64, f64)> = Vec::new();
-    for &k in &ks {
-        let cell = kpartition_cell(k, n, trials, seed);
-        let s = cell.summary();
-        println!("k = {k:2}: mean = {:>14}", fmt_f64(s.mean));
-        table.row(vec![
-            k.to_string(),
-            s.count.to_string(),
-            fmt_f64(s.mean),
-            fmt_f64(s.mean.log10()),
-            fmt_f64(s.std_dev),
-            fmt_f64(s.sem),
-            cell.batch.censored.to_string(),
-        ]);
-        points.push((k as f64, s.mean));
-    }
-
-    println!("\n### Mean interactions at n = 960\n");
-    println!("{}", table.to_markdown());
-
-    let (c, r2) = fit::exponential_base(&points);
-    println!("semi-log fit: mean ∝ {c:.2}^k (r^2 = {r2:.3}) — exponential in k");
-    let ratios = fit::growth_ratios(&points.iter().map(|p| p.1).collect::<Vec<_>>());
-    println!(
-        "successive growth ratios: {:?}",
-        ratios.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>()
-    );
-
-    let path = common::results_path("fig6.csv");
-    table.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("fig6");
 }

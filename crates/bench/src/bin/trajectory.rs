@@ -1,93 +1,12 @@
-//! Convergence trajectories: how `#g_k` (completed groupings) ratchets up
-//! over an execution — the dynamic behind Lemma 4 and the paper's
-//! Figure 4 decomposition, viewed as a time series.
+//! Convergence trajectories: the ratcheting of `#g_k` over one sampled
+//! execution per `k` — Lemma 4 in motion.
 //!
-//! For each k we run one seeded execution at n = 240, sample the
-//! configuration periodically, and print an ASCII profile of `#g_k`
-//! (monotone, by Lemma 4 / the `gk_count_is_monotone` property) together
-//! with the count of in-flight chain builders (m-states) and demolishers
-//! (d-states). The CSV contains the full sampled series.
-//!
-//! Output: `results/trajectory.csv` with columns
-//! `k,interaction,gk,builders,demolishers,free`.
-
-use pp_analysis::table::Table;
-use pp_bench::common;
-use pp_engine::observer::TrajectorySampler;
-use pp_engine::population::CountPopulation;
-use pp_engine::scheduler::UniformRandomScheduler;
-use pp_engine::simulator::Simulator;
-use pp_protocols::kpartition::UniformKPartition;
+//! Thin wrapper over the `trajectory` sweep plan
+//! (`pp_sweep::plans::trajectory`): equivalent to `pp-sweep run
+//! trajectory`, so the sampled runs are cached and the ASCII/CSV output
+//! re-renders from the store. See that module for the cell wiring and CSV
+//! schema.
 
 fn main() {
-    common::banner(
-        "Trajectory",
-        "ratcheting of #g_k over one execution (Lemma 4 in motion)",
-    );
-    let seed = common::master_seed();
-    let n = 240u64;
-
-    let mut csv = Table::new(vec![
-        "k",
-        "interaction",
-        "gk",
-        "builders",
-        "demolishers",
-        "free",
-    ]);
-
-    for k in [4usize, 6, 8] {
-        let kp = UniformKPartition::new(k);
-        let proto = kp.compile();
-        let mut pop = CountPopulation::new(&proto, n);
-        let mut sched = UniformRandomScheduler::from_seed(seed ^ k as u64);
-        let mut sampler = TrajectorySampler::every(256);
-        let run = Simulator::new(&proto)
-            .run_observed(
-                &mut pop,
-                &mut sched,
-                &kp.stable_signature(n),
-                kp.interaction_budget(n),
-                &mut sampler,
-            )
-            .expect("stabilises");
-
-        let target = n / k as u64;
-        println!(
-            "k = {k}: stabilised at {} interactions; #g_k target {target}",
-            run.interactions
-        );
-        // ASCII ratchet: one row per ~1/20th of the run.
-        let samples = sampler.samples();
-        let stride = (samples.len() / 20).max(1);
-        for (t, counts) in samples.iter().step_by(stride) {
-            let gk = counts[kp.g(k).index()];
-            let builders: u64 = (2..k).map(|i| counts[kp.m(i).index()]).sum();
-            let demols: u64 = (1..k - 1).map(|i| counts[kp.d(i).index()]).sum();
-            let free =
-                counts[kp.initial().index()] + counts[kp.initial_prime().index()];
-            let bar = "#".repeat((gk * 40 / target.max(1)) as usize);
-            println!("  {t:>9} |{bar:<40}| gk={gk:<3} m={builders:<3} d={demols:<3} free={free}");
-        }
-        for (t, counts) in samples {
-            let gk = counts[kp.g(k).index()];
-            let builders: u64 = (2..k).map(|i| counts[kp.m(i).index()]).sum();
-            let demols: u64 = (1..k - 1).map(|i| counts[kp.d(i).index()]).sum();
-            let free =
-                counts[kp.initial().index()] + counts[kp.initial_prime().index()];
-            csv.row(vec![
-                k.to_string(),
-                t.to_string(),
-                gk.to_string(),
-                builders.to_string(),
-                demols.to_string(),
-                free.to_string(),
-            ]);
-        }
-        println!();
-    }
-
-    let path = common::results_path("trajectory.csv");
-    csv.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("trajectory");
 }

@@ -1,76 +1,12 @@
 //! Extension experiment: the one-sided-abort variant vs the paper's
-//! protocol — does softening rule 8 tame the exponential-in-k cost?
+//! rule 8 — does softening chain collisions tame the exponential-in-k
+//! cost?
 //!
-//! Same state count (3k − 2), same stable configurations (model-checked
-//! in the test suite); the only change is that off-diagonal chain
-//! collisions sacrifice just the shorter chain. We sweep k at two
-//! population sizes and report the speedup factor, plus exponential fits
-//! of both curves.
-//!
-//! Output: markdown table + `results/variants.csv`.
-
-use pp_analysis::fit;
-use pp_analysis::runner::{run_trials, TrialConfig};
-use pp_analysis::table::{fmt_f64, Table};
-use pp_bench::common;
-use pp_engine::seeds;
-use pp_protocols::kpartition::variant::OneSidedAbortKPartition;
-use pp_protocols::kpartition::UniformKPartition;
+//! Thin wrapper over the `variants` sweep plan
+//! (`pp_sweep::plans::variants`): equivalent to `pp-sweep run variants`,
+//! so runs are cached, resumable, and parallel across cells. See that
+//! module for the cell grid and CSV schema.
 
 fn main() {
-    common::banner(
-        "Variants",
-        "one-sided chain abort vs the paper's rule 8 (both-abort)",
-    );
-    let trials = common::trials();
-    let seed = common::master_seed();
-
-    let mut table = Table::new(vec![
-        "n", "k", "paper mean", "variant mean", "speedup",
-    ]);
-
-    for n in [240u64, 480] {
-        let mut paper_pts = Vec::new();
-        let mut variant_pts = Vec::new();
-        for k in [3usize, 4, 5, 6, 8] {
-            let kp = UniformKPartition::new(k);
-            let paper_proto = kp.compile();
-            let cfg = TrialConfig {
-                trials,
-                master_seed: seeds::derive_labelled(seed, k as u64, n),
-                max_interactions: kp.interaction_budget(n),
-            };
-            let paper = run_trials(&paper_proto, n, &kp.stable_signature(n), cfg).mean();
-
-            let v = OneSidedAbortKPartition::new(k);
-            let vproto = v.compile();
-            let variant = run_trials(&vproto, n, &v.stable_signature(n), cfg).mean();
-
-            paper_pts.push((k as f64, paper));
-            variant_pts.push((k as f64, variant));
-            table.row(vec![
-                n.to_string(),
-                k.to_string(),
-                fmt_f64(paper),
-                fmt_f64(variant),
-                format!("{:.2}x", paper / variant),
-            ]);
-        }
-        let (pb, pr2) = fit::exponential_base(&paper_pts);
-        let (vb, vr2) = fit::exponential_base(&variant_pts);
-        println!(
-            "n = {n}: paper ∝ {pb:.2}^k (r²={pr2:.2}), variant ∝ {vb:.2}^k (r²={vr2:.2})"
-        );
-    }
-
-    println!("\n{}", table.to_markdown());
-    println!(
-        "The variant wins increasingly with k — consistent with §5.2's analysis \
-         that destroyed chains are what makes the paper's protocol exponential. \
-         (Correctness of the variant is model-checked, not proved; see \
-         tests/model_check.rs.)"
-    );
-    let path = common::results_path("variants.csv");
-    table.write_csv(&path).expect("write csv");
-    println!("wrote {}", path.display());
+    pp_sweep::cli::delegate("variants");
 }

@@ -1,43 +1,31 @@
 //! Shared plumbing for the figure binaries: CLI-ish environment knobs,
 //! output paths, and consistent headers.
 //!
-//! Every binary accepts two environment variables so CI / quick runs can
-//! dial effort without code changes:
+//! The knob resolution itself lives in [`pp_analysis::config`] so the
+//! legacy binaries, `pp-sweep`, and CI all read the same values:
 //!
 //! * `PP_TRIALS` — trials per cell (default 100, the paper's count).
 //! * `PP_SEED` — master seed (default 20180725, the paper's submission
 //!   date).
-//!
-//! Results go to `results/<name>.csv` relative to the workspace root (or
-//! the current directory when run elsewhere).
+//! * `PP_RESULTS_DIR` — output directory (default `results/` under the
+//!   workspace root).
 
 use std::path::PathBuf;
 
 /// Trials per data point; `PP_TRIALS` overrides the paper's 100.
 pub fn trials() -> usize {
-    std::env::var("PP_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100)
+    pp_analysis::config::trials()
 }
 
 /// Master seed; `PP_SEED` overrides the default.
 pub fn master_seed() -> u64 {
-    std::env::var("PP_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_180_725)
+    pp_analysis::config::master_seed()
 }
 
-/// Output path `results/<name>` under the workspace root if it exists,
-/// else under the current directory.
+/// Output path `results/<name>`; see [`pp_analysis::config::results_dir`]
+/// for the resolution rules (including the `PP_RESULTS_DIR` override).
 pub fn results_path(name: &str) -> PathBuf {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    root.join("results").join(name)
+    pp_analysis::config::results_path(name)
 }
 
 /// Print the standard experiment banner.
@@ -56,20 +44,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_papers() {
-        // Only valid when the env vars are unset, which is the test default.
-        if std::env::var("PP_TRIALS").is_err() {
-            assert_eq!(trials(), 100);
-        }
-        if std::env::var("PP_SEED").is_err() {
-            assert_eq!(master_seed(), 20_180_725);
-        }
-    }
-
-    #[test]
-    fn results_path_ends_with_results() {
-        let p = results_path("x.csv");
-        assert!(p.to_string_lossy().contains("results"));
-        assert!(p.to_string_lossy().ends_with("x.csv"));
+    fn knobs_delegate_to_analysis_config() {
+        assert_eq!(trials(), pp_analysis::config::trials());
+        assert_eq!(master_seed(), pp_analysis::config::master_seed());
+        assert_eq!(
+            results_path("x.csv"),
+            pp_analysis::config::results_path("x.csv")
+        );
     }
 }

@@ -40,9 +40,7 @@ impl InteractionGraph {
     /// A cycle `0 — 1 — … — (n−1) — 0`. Requires `n ≥ 3`.
     pub fn ring(n: usize) -> Self {
         assert!(n >= 3, "a ring needs at least 3 agents");
-        let edges = (0..n as u32)
-            .map(|u| (u, (u + 1) % n as u32))
-            .collect();
+        let edges = (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
         InteractionGraph::Explicit { n, edges }
     }
 

@@ -358,9 +358,6 @@ mod tests {
         let mut spec = ProtocolSpec::new("bad");
         let a = spec.add_state_raw("a", 0);
         spec.set_initial(a);
-        assert!(matches!(
-            spec.compile(),
-            Err(ProtocolError::ZeroGroup(_))
-        ));
+        assert!(matches!(spec.compile(), Err(ProtocolError::ZeroGroup(_))));
     }
 }

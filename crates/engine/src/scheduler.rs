@@ -380,7 +380,7 @@ mod tests {
             seen.insert(sched.select_agents(&pop));
         }
         assert_eq!(seen.len(), 12); // 4 * 3 ordered pairs
-        // And it cycles.
+                                    // And it cycles.
         let again = sched.select_agents(&pop);
         assert!(seen.contains(&again));
     }
@@ -391,10 +391,8 @@ mod tests {
         let a = p.state_by_name("a").unwrap();
         let mut pop = CountPopulation::new(&p, 3);
         pop.set_count(a, 3);
-        let mut sched = ScriptedPairScheduler::new(
-            vec![(a, a), (a, a)],
-            UniformRandomScheduler::from_seed(5),
-        );
+        let mut sched =
+            ScriptedPairScheduler::new(vec![(a, a), (a, a)], UniformRandomScheduler::from_seed(5));
         assert_eq!(sched.remaining(), 2);
         assert_eq!(sched.select_pair(&pop), (a, a));
         assert_eq!(sched.select_pair(&pop), (a, a));

@@ -87,7 +87,13 @@ impl<'a> Simulator<'a> {
         S: PairScheduler,
         C: StabilityCriterion,
     {
-        self.run_observed(pop, scheduler, criterion, max_interactions, &mut NullObserver)
+        self.run_observed(
+            pop,
+            scheduler,
+            criterion,
+            max_interactions,
+            &mut NullObserver,
+        )
     }
 
     /// Run a count-vector population until stability, reporting every
@@ -198,7 +204,13 @@ impl<'a> Simulator<'a> {
         S: AgentScheduler,
         C: StabilityCriterion,
     {
-        self.run_agents_observed(pop, scheduler, criterion, max_interactions, &mut NullObserver)
+        self.run_agents_observed(
+            pop,
+            scheduler,
+            criterion,
+            max_interactions,
+            &mut NullObserver,
+        )
     }
 
     /// Perform exactly `steps` interactions (regardless of stability) on a

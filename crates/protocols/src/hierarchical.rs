@@ -270,11 +270,7 @@ pub struct HierarchicalStable {
 }
 
 impl StabilityCriterion for HierarchicalStable {
-    fn is_stable(
-        &self,
-        _proto: &pp_engine::protocol::CompiledProtocol,
-        counts: &[u64],
-    ) -> bool {
+    fn is_stable(&self, _proto: &pp_engine::protocol::CompiledProtocol, counts: &[u64]) -> bool {
         let h = self.proto.h;
         for level in 1..=h {
             for prefix in 0..(1usize << (level - 1)) {
@@ -356,7 +352,11 @@ mod tests {
                 Simulator::new(&p)
                     .run(&mut pop, &mut sched, &hp.stability(), 1_000_000_000)
                     .unwrap();
-                assert_eq!(pop.group_sizes(&p), vec![8u64; k as usize], "h={h} seed={seed}");
+                assert_eq!(
+                    pop.group_sizes(&p),
+                    vec![8u64; k as usize],
+                    "h={h} seed={seed}"
+                );
             }
         }
     }

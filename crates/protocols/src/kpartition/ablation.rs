@@ -115,8 +115,7 @@ impl BasicStrategyKPartition {
     /// chain-builder remains but no free agents, so no rule can ever fire
     /// again (the failure mode of §3.2).
     pub fn is_deadlocked(&self, counts: &[u64]) -> bool {
-        let free: u64 =
-            counts[self.initial().index()] + counts[self.initial_prime().index()];
+        let free: u64 = counts[self.initial().index()] + counts[self.initial_prime().index()];
         let builders: u64 = (2..=self.k - 1).map(|i| counts[self.m(i).index()]).sum();
         free == 0 && builders > 0
     }
@@ -212,7 +211,10 @@ mod tests {
         }
         // With n = 12, k = 4 deadlocks are common; at least one in 40
         // seeded trials is a safe deterministic expectation.
-        assert!(deadlocks > 0, "expected at least one deadlock in {trials} trials");
+        assert!(
+            deadlocks > 0,
+            "expected at least one deadlock in {trials} trials"
+        );
     }
 
     #[test]

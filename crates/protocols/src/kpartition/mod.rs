@@ -316,10 +316,7 @@ impl UniformKPartition {
         if r == 1 {
             fixed[self.initial().index()] = None;
             fixed[self.initial_prime().index()] = None;
-            Signature::new(
-                fixed,
-                vec![(vec![self.initial(), self.initial_prime()], 1)],
-            )
+            Signature::new(fixed, vec![(vec![self.initial(), self.initial_prime()], 1)])
         } else {
             if r >= 2 {
                 fixed[self.m(r as usize).index()] = Some(1);
@@ -524,9 +521,8 @@ mod tests {
                 }
                 for seed in 0..3 {
                     let mut pop = CountPopulation::new(&p, n);
-                    let mut sched = UniformRandomScheduler::from_seed(
-                        (k as u64) << 32 | n << 8 | seed,
-                    );
+                    let mut sched =
+                        UniformRandomScheduler::from_seed((k as u64) << 32 | n << 8 | seed);
                     let sig = kp.stable_signature(n);
                     let res = Simulator::new(&p)
                         .run(&mut pop, &mut sched, &sig, kp.interaction_budget(n))

@@ -131,7 +131,10 @@ mod tests {
         assert_eq!(p.delta(kp.m(3), kp.m(3)), (kp.d(2), kp.d(2)));
         // Everything else matches the paper.
         let paper = kp.compile();
-        assert_eq!(p.delta(kp.initial(), kp.m(2)), paper.delta(kp.initial(), kp.m(2)));
+        assert_eq!(
+            p.delta(kp.initial(), kp.m(2)),
+            paper.delta(kp.initial(), kp.m(2))
+        );
         assert_eq!(p.delta(kp.d(1), kp.g(1)), paper.delta(kp.d(1), kp.g(1)));
         assert!(p.is_symmetric());
         assert_eq!(p.num_states(), 3 * 5 - 2);

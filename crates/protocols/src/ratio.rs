@@ -37,10 +37,7 @@ impl RatioPartition {
     /// ≥ 1, at least two entries, `Σ ratios ≥ 2`).
     pub fn new(ratios: Vec<u32>) -> Self {
         assert!(ratios.len() >= 2, "a ratio partition needs >= 2 groups");
-        assert!(
-            ratios.iter().all(|&r| r >= 1),
-            "ratio entries must be >= 1"
-        );
+        assert!(ratios.iter().all(|&r| r >= 1), "ratio entries must be >= 1");
         let s: u32 = ratios.iter().sum();
         assert!(s >= 2, "total ratio weight must be >= 2");
         let mut slot_group = Vec::with_capacity(s as usize);
@@ -189,7 +186,12 @@ mod tests {
         let mut sched = UniformRandomScheduler::from_seed(21);
         let sig = rp.stable_signature(18);
         Simulator::new(&p)
-            .run(&mut pop, &mut sched, &sig, rp.slots().interaction_budget(18))
+            .run(
+                &mut pop,
+                &mut sched,
+                &sig,
+                rp.slots().interaction_budget(18),
+            )
             .unwrap();
         assert_eq!(pop.group_sizes(&p), vec![6, 12]);
         assert_eq!(rp.expected_group_sizes(18), vec![6, 12]);

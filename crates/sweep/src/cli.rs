@@ -1,0 +1,262 @@
+//! The `pp-sweep` command-line interface.
+//!
+//! ```text
+//! pp-sweep list               # registered plans
+//! pp-sweep run <plan>|all     # execute (cache-aware) and report
+//! pp-sweep resume <plan>|all  # alias of run: resume IS the default
+//! pp-sweep status [<plan>]    # per-plan cell completion state
+//! pp-sweep gc                 # drop store files no current plan references
+//! ```
+//!
+//! Environment: `PP_TRIALS`, `PP_SEED`, `PP_RESULTS_DIR`, `PP_FIG6_KMAX`
+//! — all participate in cell identity, so changing them addresses
+//! different store entries rather than corrupting existing ones.
+
+use std::collections::HashSet;
+
+use crate::exec::ExecOptions;
+use crate::journal;
+use crate::observer::ConsoleProgress;
+use crate::plan::{self, Plan, PlanConfig};
+use crate::runner;
+use crate::store::ResultStore;
+
+/// Entry point; returns the process exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let cfg = PlanConfig::from_env();
+    let store = ResultStore::default_location();
+    match args {
+        [] => {
+            eprintln!("{USAGE}");
+            2
+        }
+        [cmd] if cmd == "list" => {
+            list(cfg);
+            0
+        }
+        [cmd, name] if cmd == "run" || cmd == "resume" => run(name, cfg, &store),
+        [cmd] if cmd == "status" => {
+            for p in plan::plans(cfg) {
+                status(&p, &store);
+            }
+            0
+        }
+        [cmd, name] if cmd == "status" => match plan::find(name, cfg) {
+            Some(p) => {
+                status(&p, &store);
+                0
+            }
+            None => unknown_plan(name, cfg),
+        },
+        [cmd] if cmd == "gc" => gc(cfg, &store),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: pp-sweep <list | run <plan|all> | resume <plan|all> | status [plan] | gc>";
+
+fn list(cfg: PlanConfig) {
+    println!(
+        "registered plans (PP_TRIALS={}, PP_SEED={}):",
+        cfg.trials, cfg.master_seed
+    );
+    for p in plan::plans(cfg) {
+        println!(
+            "  {:<18} {:>4} cells  {:>7} trials  — {}",
+            p.name,
+            p.cells.len(),
+            p.total_trials(),
+            p.description
+        );
+    }
+    println!("  {:<18} union of the above", "all");
+}
+
+fn banner(p: &Plan, cfg: PlanConfig) {
+    println!("== {} — {}", p.title, p.description);
+    println!(
+        "   trials/cell = {}, master seed = {} (override with PP_TRIALS / PP_SEED)",
+        cfg.trials, cfg.master_seed
+    );
+    println!();
+}
+
+fn run(name: &str, cfg: PlanConfig, store: &ResultStore) -> i32 {
+    let selected: Vec<Plan> = if name == "all" {
+        plan::plans(cfg)
+    } else {
+        match plan::find(name, cfg) {
+            Some(p) => vec![p],
+            None => return unknown_plan(name, cfg),
+        }
+    };
+
+    // Union of cells first (dedupes across plans), then every report.
+    let cells: Vec<_> = selected.iter().flat_map(|p| p.cells.clone()).collect();
+    let progress = ConsoleProgress::new();
+    let stats = match runner::run_cells(&cells, store, &progress, &ExecOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            progress.finish();
+            eprintln!("pp-sweep: run failed: {e}");
+            return 1;
+        }
+    };
+    progress.finish();
+    eprintln!(
+        "  {} cells complete ({} from cache, {} executed); store: {}",
+        stats.cells,
+        stats.cache_hits,
+        stats.simulated,
+        store.dir().display()
+    );
+
+    for p in &selected {
+        banner(p, cfg);
+        match (p.report)(store) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("pp-sweep: report for {} failed: {e}", p.name);
+                return 1;
+            }
+        }
+        println!();
+    }
+    0
+}
+
+fn status(p: &Plan, store: &ResultStore) {
+    let mut complete = 0usize;
+    let mut partial = 0usize;
+    let mut partial_trials = 0u64;
+    let mut pending = 0usize;
+    for spec in &p.cells {
+        if store.load(spec).is_some() {
+            complete += 1;
+        } else {
+            let st = journal::load(&store.journal_path(spec));
+            if st.records.is_empty() {
+                pending += 1;
+            } else {
+                partial += 1;
+                partial_trials += st.records.len() as u64;
+            }
+        }
+    }
+    let state = if complete == p.cells.len() {
+        "complete"
+    } else if complete + partial > 0 {
+        "in progress"
+    } else {
+        "not started"
+    };
+    println!(
+        "{:<18} {:>11}: {}/{} cells complete, {} partial ({} journaled trials), {} pending",
+        p.name,
+        state,
+        complete,
+        p.cells.len(),
+        partial,
+        partial_trials,
+        pending
+    );
+}
+
+fn gc(cfg: PlanConfig, store: &ResultStore) -> i32 {
+    // Everything a *current* plan (under the current env knobs) can
+    // address is live; anything else — stale KEY_VERSION files, cells
+    // from other PP_TRIALS/PP_SEED settings, leftover .tmp files — is
+    // garbage. That is the point: gc reclaims results the current
+    // configuration can no longer reach.
+    let mut live: HashSet<String> = HashSet::new();
+    for p in plan::plans(cfg) {
+        for c in &p.cells {
+            live.insert(format!("{}.json", c.file_stem()));
+            live.insert(format!("{}.jsonl", c.file_stem()));
+        }
+    }
+    let files = match store.existing_files() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pp-sweep: cannot list store: {e}");
+            return 1;
+        }
+    };
+    let mut removed = 0usize;
+    let mut kept = 0usize;
+    for f in files {
+        let name = f
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if live.contains(&name) {
+            kept += 1;
+        } else {
+            match std::fs::remove_file(&f) {
+                Ok(()) => {
+                    println!("removed {}", f.display());
+                    removed += 1;
+                }
+                Err(e) => eprintln!("pp-sweep: cannot remove {}: {e}", f.display()),
+            }
+        }
+    }
+    println!(
+        "gc: removed {removed}, kept {kept} (store: {})",
+        store.dir().display()
+    );
+    0
+}
+
+fn unknown_plan(name: &str, cfg: PlanConfig) -> i32 {
+    eprintln!("pp-sweep: unknown plan '{name}'; available:");
+    for p in plan::plans(cfg) {
+        eprintln!("  {}", p.name);
+    }
+    2
+}
+
+/// Entry point for the legacy thin-wrapper binaries (`fig3`, `baselines`,
+/// …): run the named plan with live progress, print its banner + report —
+/// the same console contract the old standalone binaries had, now
+/// cache-aware and resumable.
+pub fn delegate(plan_name: &str) {
+    let code = main_with_args(&["run".to_string(), plan_name.to_string()]);
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_commands_and_plans_fail_cleanly() {
+        assert_eq!(main_with_args(&[]), 2);
+        assert_eq!(main_with_args(&["frobnicate".into()]), 2);
+        assert_eq!(main_with_args(&["run".into(), "not_a_plan".into()]), 2);
+    }
+
+    #[test]
+    fn list_and_status_do_not_touch_the_store() {
+        // Point the store somewhere empty; list/status must succeed
+        // without creating anything.
+        let dir = std::env::temp_dir().join(format!("pp_sweep_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::at(&dir);
+        let cfg = PlanConfig {
+            trials: 2,
+            master_seed: 1,
+        };
+        for p in plan::plans(cfg) {
+            status(&p, &store);
+        }
+        list(cfg);
+        assert!(!dir.exists());
+    }
+}

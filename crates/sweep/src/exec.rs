@@ -1,0 +1,379 @@
+//! Cell execution: cache check → journal recovery → simulate the missing
+//! trials → atomically promote to the store.
+//!
+//! Determinism contract: trial `i` of a cell always runs with seed
+//! `seeds::derive(spec.seed, i)` (trajectory cells use `spec.seed`
+//! directly, matching the legacy single-run binaries), independent of
+//! which trials already exist in the journal and of scheduling. A cell
+//! resumed after a crash therefore produces the same records, bit for
+//! bit, as an uninterrupted run — the property the
+//! `resume_equals_fresh` proptest pins down.
+
+use pp_engine::observer::TrajectorySampler;
+use pp_engine::population::CountPopulation;
+use pp_engine::scheduler::UniformRandomScheduler;
+use pp_engine::seeds;
+use pp_engine::simulator::{RunError, Simulator};
+
+use crate::journal::{self, JournalWriter};
+use crate::observer::SweepObserver;
+use crate::spec::{CellMode, CellSpec, MaterializedCell};
+use crate::store::{CellResult, ResultStore, TrialRecord};
+
+/// Knobs for [`run_cell`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Test hook: stop after journaling this many *new* trials, leaving
+    /// the cell incomplete — simulates a crash at an arbitrary point
+    /// without process gymnastics. `None` runs to completion.
+    pub kill_after: Option<usize>,
+}
+
+/// What [`run_cell`] produced.
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// The cell is complete (from cache, journal recovery, fresh
+    /// simulation, or any mix).
+    Complete(CellResult),
+    /// `kill_after` fired; the journal holds `journaled` of the cell's
+    /// trials.
+    Interrupted {
+        /// Trials now present in the journal.
+        journaled: usize,
+    },
+}
+
+impl CellOutcome {
+    /// Unwrap the completed result.
+    ///
+    /// # Panics
+    /// If the cell was interrupted.
+    pub fn expect_complete(self) -> CellResult {
+        match self {
+            CellOutcome::Complete(r) => r,
+            CellOutcome::Interrupted { journaled } => {
+                panic!("cell interrupted after {journaled} journaled trials")
+            }
+        }
+    }
+}
+
+/// Run one trial of a materialized cell. Pure in `(spec, trial)` — this
+/// is the replayable unit the journal checkpoints.
+pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> TrialRecord {
+    let seed = match spec.mode {
+        // Trajectory cells are single seeded runs; the legacy binary fed
+        // the scheduler its seed undirected, so keep that byte-for-byte.
+        CellMode::Trajectory { .. } => spec.seed,
+        _ => seeds::derive(spec.seed, trial),
+    };
+    match spec.mode {
+        CellMode::Summary => TrialRecord::summary(
+            trial,
+            pp_analysis::runner::run_trial(&cell.proto, spec.n, &cell.criterion, seed, spec.budget),
+        ),
+        CellMode::Watched => {
+            let w = pp_analysis::runner::run_trial_watching(
+                &cell.proto,
+                spec.n,
+                &cell.criterion,
+                spec.watched_state(),
+                seed,
+                spec.budget,
+            );
+            TrialRecord {
+                trial,
+                interactions: w.total,
+                completions: Some(w.completions),
+                final_counts: None,
+                samples: None,
+            }
+        }
+        CellMode::Full => {
+            let o = pp_analysis::runner::run_trial_full(
+                &cell.proto,
+                spec.n,
+                &cell.criterion,
+                seed,
+                spec.budget,
+            );
+            TrialRecord {
+                trial,
+                interactions: o.interactions,
+                completions: None,
+                final_counts: Some(o.final_counts),
+                samples: None,
+            }
+        }
+        CellMode::Trajectory { sample_every } => {
+            let mut pop = CountPopulation::new(&cell.proto, spec.n);
+            let mut sched = UniformRandomScheduler::from_seed(seed);
+            let mut sampler = TrajectorySampler::every(sample_every);
+            let res = Simulator::new(&cell.proto).run_observed(
+                &mut pop,
+                &mut sched,
+                &cell.criterion,
+                spec.budget,
+                &mut sampler,
+            );
+            let interactions = match res {
+                Ok(r) => Some(r.interactions),
+                Err(RunError::InteractionLimit { .. }) => None,
+                Err(e) => panic!("trajectory trial failed: {e}"),
+            };
+            let samples = sampler
+                .samples()
+                .iter()
+                .map(|(t, counts)| {
+                    let mut row = Vec::with_capacity(1 + counts.len());
+                    row.push(*t);
+                    row.extend_from_slice(counts);
+                    row
+                })
+                .collect();
+            TrialRecord {
+                trial,
+                interactions,
+                completions: None,
+                final_counts: None,
+                samples: Some(samples),
+            }
+        }
+    }
+}
+
+/// Execute a cell against the store: return the cached result if
+/// complete, otherwise recover the journal, simulate the missing trials
+/// (in parallel), journal each as it lands, and promote the finished set
+/// to the store atomically.
+pub fn run_cell(
+    spec: &CellSpec,
+    store: &ResultStore,
+    obs: &dyn SweepObserver,
+    opts: &ExecOptions,
+) -> std::io::Result<CellOutcome> {
+    if let Some(cached) = store.load(spec) {
+        obs.cell_finished(spec, true, 0);
+        return Ok(CellOutcome::Complete(cached));
+    }
+
+    let journal_path = store.journal_path(spec);
+    let mut records = journal::load(&journal_path).records;
+    records.retain(|&t, _| t < spec.trials as u64);
+    let recovered = records.len();
+    let missing: Vec<u64> = (0..spec.trials as u64)
+        .filter(|t| !records.contains_key(t))
+        .collect();
+    obs.cell_started(spec, recovered);
+
+    let to_run: &[u64] = match opts.kill_after {
+        Some(m) => &missing[..m.min(missing.len())],
+        None => &missing,
+    };
+
+    if !to_run.is_empty() {
+        let cell = spec.materialize();
+        let writer = JournalWriter::open(&journal_path)?;
+        let io_err = std::sync::Mutex::new(None::<std::io::Error>);
+        let fresh: Vec<TrialRecord> = {
+            use rayon::prelude::*;
+            to_run
+                .to_vec()
+                .into_par_iter()
+                .map(|t| {
+                    let rec = run_one_trial(spec, &cell, t);
+                    if let Err(e) = writer.append(&rec) {
+                        io_err.lock().unwrap().get_or_insert(e);
+                    }
+                    obs.trial_finished(spec, rec.interactions.is_none());
+                    rec
+                })
+                .collect()
+        };
+        if let Some(e) = io_err.into_inner().unwrap() {
+            return Err(e);
+        }
+        for rec in fresh {
+            records.insert(rec.trial, rec);
+        }
+    }
+
+    if records.len() < spec.trials {
+        // kill_after fired (the only way to get here): leave the journal
+        // in place for the next attempt.
+        return Ok(CellOutcome::Interrupted {
+            journaled: records.len(),
+        });
+    }
+
+    let sorted: Vec<TrialRecord> = records.into_values().collect();
+    let result = store.save(spec, sorted)?;
+    obs.cell_finished(spec, false, recovered);
+    Ok(CellOutcome::Complete(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{CountingObserver, NullObserver};
+    use crate::spec::{CriterionKind, ProtocolId};
+    use std::sync::atomic::Ordering;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("pp_sweep_exec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::at(dir)
+    }
+
+    fn spec(mode: CellMode) -> CellSpec {
+        CellSpec {
+            protocol: ProtocolId::UniformKPartition { k: 3 },
+            n: 12,
+            trials: 6,
+            seed: 41,
+            criterion: CriterionKind::Stable,
+            budget: 10_000_000,
+            mode,
+        }
+    }
+
+    #[test]
+    fn fresh_run_then_cache_hit() {
+        let store = temp_store("cache");
+        let obs = CountingObserver::default();
+        let s = spec(CellMode::Summary);
+        let r1 = run_cell(&s, &store, &obs, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(obs.trials.load(Ordering::Relaxed), 6);
+        assert_eq!(obs.cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(r1.records.len(), 6);
+        assert_eq!(r1.censored(), 0);
+        // Journal was promoted away.
+        assert!(!store.journal_path(&s).exists());
+
+        let r2 = run_cell(&s, &store, &obs, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(obs.trials.load(Ordering::Relaxed), 6, "no re-simulation");
+        assert_eq!(obs.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(r1.records, r2.records);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn interrupted_then_resumed_equals_fresh() {
+        let store_a = temp_store("resume_a");
+        let store_b = temp_store("resume_b");
+        let s = spec(CellMode::Summary);
+        let fresh = run_cell(&s, &store_a, &NullObserver, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+
+        // Kill after 2 trials, then resume.
+        let obs = CountingObserver::default();
+        match run_cell(
+            &s,
+            &store_b,
+            &obs,
+            &ExecOptions {
+                kill_after: Some(2),
+            },
+        )
+        .unwrap()
+        {
+            CellOutcome::Interrupted { journaled } => assert_eq!(journaled, 2),
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        let resumed = run_cell(&s, &store_b, &obs, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(
+            obs.trials.load(Ordering::Relaxed),
+            6,
+            "2 killed + 4 resumed"
+        );
+        assert_eq!(obs.recovered.load(Ordering::Relaxed), 2);
+        assert_eq!(fresh.records, resumed.records);
+        let _ = std::fs::remove_dir_all(store_a.dir());
+        let _ = std::fs::remove_dir_all(store_b.dir());
+    }
+
+    #[test]
+    fn watched_and_full_modes_record_extras() {
+        let store = temp_store("modes");
+        let w = run_cell(
+            &spec(CellMode::Watched),
+            &store,
+            &NullObserver,
+            &ExecOptions::default(),
+        )
+        .unwrap()
+        .expect_complete();
+        // n = 12, k = 3: g_3 count reaches n/k · … — completions non-empty
+        // and monotone.
+        for t in w.watched() {
+            assert!(!t.completions.is_empty());
+            assert!(t.completions.windows(2).all(|p| p[0] <= p[1]));
+        }
+        let f = run_cell(
+            &spec(CellMode::Full),
+            &store,
+            &NullObserver,
+            &ExecOptions::default(),
+        )
+        .unwrap()
+        .expect_complete();
+        for o in f.outcomes() {
+            assert_eq!(o.final_counts.iter().sum::<u64>(), 12);
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn trajectory_mode_samples_counts() {
+        let store = temp_store("traj");
+        let s = CellSpec {
+            trials: 1,
+            mode: CellMode::Trajectory { sample_every: 64 },
+            ..spec(CellMode::Summary)
+        };
+        let r = run_cell(&s, &store, &NullObserver, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        let rec = &r.records[0];
+        let samples = rec.samples.as_ref().unwrap();
+        assert!(!samples.is_empty());
+        let num_states = s.materialize().proto.num_states();
+        for row in samples {
+            assert_eq!(row.len(), 1 + num_states);
+            assert_eq!(row[1..].iter().sum::<u64>(), 12);
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn matches_legacy_runner_output() {
+        // The sweep path must reproduce pp_analysis::runner bit for bit —
+        // this is what makes migrating the figure binaries lossless.
+        let store = temp_store("legacy");
+        let s = spec(CellMode::Summary);
+        let r = run_cell(&s, &store, &NullObserver, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        let kp = pp_protocols::kpartition::UniformKPartition::new(3);
+        let batch = pp_analysis::runner::run_trials(
+            &kp.compile(),
+            12,
+            &kp.stable_signature(12),
+            pp_analysis::runner::TrialConfig {
+                trials: 6,
+                master_seed: 41,
+                max_interactions: 10_000_000,
+            },
+        );
+        assert_eq!(r.interactions(), batch.interactions);
+        assert_eq!(r.censored(), batch.censored);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,199 @@
+//! Append-only per-cell trial journal: the checkpoint/resume mechanism.
+//!
+//! While a cell runs, every finished trial is appended to
+//! `<store>/<cell>.jsonl` — one JSON object per line, flushed
+//! immediately. If the process dies (OOM, ctrl-C, power), the next run
+//! loads the journal, keeps every complete line, and re-runs only the
+//! missing trials. Because trial `i`'s seed is `derive(cell_seed, i)`
+//! regardless of which trials ran before it, the resumed cell is
+//! bit-identical to an uninterrupted one.
+//!
+//! Robustness rules:
+//! * a torn final line (crash mid-write) is detected by its parse failure
+//!   and discarded, along with anything after it;
+//! * duplicate trial indices keep the first occurrence (a crash between
+//!   "write" and "mark done" can at worst duplicate work, not corrupt it);
+//! * trials may appear out of order (workers finish when they finish).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::Value;
+use crate::store::TrialRecord;
+
+/// What a journal load found.
+#[derive(Debug)]
+pub struct JournalState {
+    /// Recovered records, keyed by trial index.
+    pub records: BTreeMap<u64, TrialRecord>,
+    /// Number of trailing lines discarded as torn/corrupt.
+    pub discarded_lines: usize,
+}
+
+/// Load a journal file. A missing file is an empty journal. Lines after
+/// the first unparseable one are dropped (see module docs): a torn line
+/// means the writer died mid-append, so nothing after it can be trusted
+/// to align with line boundaries.
+pub fn load(path: &Path) -> JournalState {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            return JournalState {
+                records: BTreeMap::new(),
+                discarded_lines: 0,
+            }
+        }
+    };
+    let mut records = BTreeMap::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Value::parse(line)
+            .ok()
+            .and_then(|v| TrialRecord::from_json(&v));
+        match rec {
+            Some(r) => {
+                records.entry(r.trial).or_insert(r);
+            }
+            None => {
+                return JournalState {
+                    records,
+                    discarded_lines: lines.len() - i,
+                };
+            }
+        }
+    }
+    JournalState {
+        records,
+        discarded_lines: 0,
+    }
+}
+
+/// Append-side handle. Thread-safe: workers share one writer, and each
+/// record is written and flushed as a single line so concurrent appends
+/// interleave at line granularity only.
+pub struct JournalWriter {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl JournalWriter {
+    /// Open (or create) the journal for appending.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<JournalWriter> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(JournalWriter {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one record (single write + flush — the crash-safety unit).
+    pub fn append(&self, record: &TrialRecord) -> std::io::Result<()> {
+        let mut line = record.to_json().encode();
+        line.push('\n');
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pp_sweep_journal_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{tag}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let path = temp_journal("roundtrip");
+        let w = JournalWriter::open(&path).unwrap();
+        w.append(&TrialRecord::summary(2, Some(20))).unwrap();
+        w.append(&TrialRecord::summary(0, Some(10))).unwrap();
+        w.append(&TrialRecord::summary(1, None)).unwrap();
+        let st = load(&path);
+        assert_eq!(st.discarded_lines, 0);
+        assert_eq!(st.records.len(), 3);
+        assert_eq!(st.records[&0], TrialRecord::summary(0, Some(10)));
+        assert_eq!(st.records[&1], TrialRecord::summary(1, None));
+        assert_eq!(st.records[&2], TrialRecord::summary(2, Some(20)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let st = load(Path::new("/nonexistent/journal.jsonl"));
+        assert!(st.records.is_empty());
+        assert_eq!(st.discarded_lines, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = temp_journal("torn");
+        let w = JournalWriter::open(&path).unwrap();
+        w.append(&TrialRecord::summary(0, Some(10))).unwrap();
+        w.append(&TrialRecord::summary(1, Some(11))).unwrap();
+        // Simulate a crash mid-write: append half a record, no newline.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"trial\":2,\"interac").unwrap();
+        }
+        let st = load(&path);
+        assert_eq!(st.records.len(), 2);
+        assert_eq!(st.discarded_lines, 1);
+        assert!(!st.records.contains_key(&2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_middle_line_drops_the_rest() {
+        let path = temp_journal("midcorrupt");
+        std::fs::write(
+            &path,
+            "{\"trial\":0,\"interactions\":5}\nGARBAGE\n{\"trial\":1,\"interactions\":6}\n",
+        )
+        .unwrap();
+        let st = load(&path);
+        // Only the prefix before the corruption survives: after a torn
+        // region, line boundaries are untrustworthy.
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.discarded_lines, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_trials_keep_first() {
+        let path = temp_journal("dup");
+        let w = JournalWriter::open(&path).unwrap();
+        w.append(&TrialRecord::summary(0, Some(1))).unwrap();
+        w.append(&TrialRecord::summary(0, Some(999))).unwrap();
+        let st = load(&path);
+        assert_eq!(st.records[&0].interactions, Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,196 @@
+//! Sweep-level progress instrumentation.
+//!
+//! Modeled on `pp_engine::observer`: the executor stays measurement-free
+//! and calls into a [`SweepObserver`] at cell/trial granularity; the
+//! observer decides what to do with the events. [`ConsoleProgress`]
+//! renders a live line to stderr (stdout is reserved for report tables,
+//! so piping `pp-sweep run fig3 > fig3.log` captures clean output);
+//! [`NullObserver`] is for tests and embedding.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::spec::CellSpec;
+
+/// Receiver of sweep progress events. Methods default to no-ops so
+/// observers implement only what they need. Called concurrently from
+/// worker threads, hence `Sync` and `&self`.
+pub trait SweepObserver: Sync {
+    /// A run over `total_cells` cells comprising `total_trials` trials
+    /// is starting.
+    fn run_started(&self, total_cells: usize, total_trials: u64) {
+        let _ = (total_cells, total_trials);
+    }
+
+    /// A cell is starting; `already_done` trials were recovered from its
+    /// journal (resume) — they will not be re-run.
+    fn cell_started(&self, spec: &CellSpec, already_done: usize) {
+        let _ = (spec, already_done);
+    }
+
+    /// One trial finished (freshly simulated, not recovered).
+    fn trial_finished(&self, spec: &CellSpec, censored: bool) {
+        let _ = (spec, censored);
+    }
+
+    /// A cell completed. `cache_hit` means the store already had it and
+    /// nothing was simulated; `recovered` counts journal-recovered trials.
+    fn cell_finished(&self, spec: &CellSpec, cache_hit: bool, recovered: usize) {
+        let _ = (spec, cache_hit, recovered);
+    }
+}
+
+/// Observer that ignores everything.
+pub struct NullObserver;
+
+impl SweepObserver for NullObserver {}
+
+/// Live progress on stderr: cells done, trials/sec, ETA, censored count,
+/// cache hits. Throttled to one redraw per completed trial bucket to
+/// keep the syscall overhead negligible next to simulation.
+pub struct ConsoleProgress {
+    start: Instant,
+    total_cells: AtomicUsize,
+    total_trials: AtomicU64,
+    cells_done: AtomicUsize,
+    trials_done: AtomicU64,
+    trials_skipped: AtomicU64,
+    censored: AtomicU64,
+    cache_hits: AtomicUsize,
+    line: Mutex<()>,
+}
+
+impl ConsoleProgress {
+    /// New progress renderer (clock starts now).
+    pub fn new() -> Self {
+        ConsoleProgress {
+            start: Instant::now(),
+            total_cells: AtomicUsize::new(0),
+            total_trials: AtomicU64::new(0),
+            cells_done: AtomicUsize::new(0),
+            trials_done: AtomicU64::new(0),
+            trials_skipped: AtomicU64::new(0),
+            censored: AtomicU64::new(0),
+            cache_hits: AtomicUsize::new(0),
+            line: Mutex::new(()),
+        }
+    }
+
+    /// Number of cells served straight from the store.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of freshly simulated trials.
+    pub fn trials_simulated(&self) -> u64 {
+        self.trials_done.load(Ordering::Relaxed)
+    }
+
+    fn redraw(&self) {
+        let _guard = self.line.lock().unwrap();
+        let done = self.trials_done.load(Ordering::Relaxed);
+        let skipped = self.trials_skipped.load(Ordering::Relaxed);
+        let total = self.total_trials.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = total.saturating_sub(done + skipped);
+        let eta = if rate > 0.0 {
+            format!("{:.0}s", remaining as f64 / rate)
+        } else {
+            "?".into()
+        };
+        eprint!(
+            "\r  cells {}/{} | trials {}/{} ({} cached) | {:.1} trials/s | ETA {} | censored {}   ",
+            self.cells_done.load(Ordering::Relaxed),
+            self.total_cells.load(Ordering::Relaxed),
+            done + skipped,
+            total,
+            skipped,
+            rate,
+            eta,
+            self.censored.load(Ordering::Relaxed),
+        );
+        let _ = std::io::Write::flush(&mut std::io::stderr());
+    }
+
+    /// Terminate the progress line (call once after the run).
+    pub fn finish(&self) {
+        self.redraw();
+        eprintln!();
+    }
+}
+
+impl Default for ConsoleProgress {
+    fn default() -> Self {
+        ConsoleProgress::new()
+    }
+}
+
+impl SweepObserver for ConsoleProgress {
+    fn run_started(&self, total_cells: usize, total_trials: u64) {
+        self.total_cells.store(total_cells, Ordering::Relaxed);
+        self.total_trials.store(total_trials, Ordering::Relaxed);
+        self.redraw();
+    }
+
+    fn cell_started(&self, _spec: &CellSpec, already_done: usize) {
+        self.trials_skipped
+            .fetch_add(already_done as u64, Ordering::Relaxed);
+    }
+
+    fn trial_finished(&self, _spec: &CellSpec, censored: bool) {
+        self.trials_done.fetch_add(1, Ordering::Relaxed);
+        if censored {
+            self.censored.fetch_add(1, Ordering::Relaxed);
+        }
+        self.redraw();
+    }
+
+    fn cell_finished(&self, spec: &CellSpec, cache_hit: bool, _recovered: usize) {
+        self.cells_done.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.trials_skipped
+                .fetch_add(spec.trials as u64, Ordering::Relaxed);
+        }
+        self.redraw();
+    }
+}
+
+/// Test observer that tallies events.
+#[derive(Default)]
+pub struct CountingObserver {
+    /// Freshly simulated trials.
+    pub trials: AtomicU64,
+    /// Censored among them.
+    pub censored: AtomicU64,
+    /// Completed cells.
+    pub cells: AtomicUsize,
+    /// Cache-hit cells among them.
+    pub cache_hits: AtomicUsize,
+    /// Journal-recovered trials.
+    pub recovered: AtomicU64,
+}
+
+impl SweepObserver for CountingObserver {
+    fn trial_finished(&self, _spec: &CellSpec, censored: bool) {
+        self.trials.fetch_add(1, Ordering::Relaxed);
+        if censored {
+            self.censored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn cell_finished(&self, _spec: &CellSpec, cache_hit: bool, recovered: usize) {
+        self.cells.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recovered
+            .fetch_add(recovered as u64, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,19 @@
+//! The registered experiment plans — one module per legacy binary.
+//!
+//! Each module exposes `plan(cfg) -> Plan` declaring its cell grid and a
+//! reporter that rebuilds the binary's console output and CSVs from the
+//! store. Cell wiring (seeds, budgets, criteria) matches the legacy
+//! binaries exactly, so cached sweeps reproduce their numbers bit for
+//! bit; a few CSVs gained columns by adopting the canonical
+//! [`Table::SUMMARY_HEADERS`](pp_analysis::table::Table::SUMMARY_HEADERS)
+//! block (noted per module).
+
+pub mod ablation_d_states;
+pub mod baselines;
+pub mod distributions;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod trajectory;
+pub mod variants;

@@ -1,0 +1,397 @@
+//! Cell specifications: the declarative unit of a sweep.
+//!
+//! A [`CellSpec`] pins everything that determines a cell's output —
+//! protocol, population size, trial count, the fully-derived cell seed,
+//! stability criterion, interaction budget, and capture mode. Two specs
+//! with equal [canonical keys](CellSpec::canonical_key) produce
+//! bit-identical trial records, which is what lets the store treat the
+//! key's hash as the cell's content address.
+
+use pp_engine::protocol::{CompiledProtocol, StateId};
+use pp_engine::stability::{Signature, Silent, StabilityCriterion};
+use pp_protocols::hierarchical::{HierarchicalPartition, HierarchicalStable};
+use pp_protocols::kpartition::ablation::BasicStrategyKPartition;
+use pp_protocols::kpartition::variant::OneSidedAbortKPartition;
+use pp_protocols::kpartition::UniformKPartition;
+
+/// Which protocol a cell simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolId {
+    /// The paper's uniform k-partition protocol (`3k − 2` states).
+    UniformKPartition {
+        /// Number of groups.
+        k: usize,
+    },
+    /// The §3.2 "basic strategy" ablation (rules 1–7, can deadlock).
+    BasicStrategy {
+        /// Number of groups.
+        k: usize,
+    },
+    /// The one-sided chain-abort variant of rule 8.
+    OneSidedAbort {
+        /// Number of groups.
+        k: usize,
+    },
+    /// Composed bipartition baseline, `k = 2^h`.
+    ComposedBipartition {
+        /// Composition depth.
+        h: u32,
+    },
+    /// Approximate-partition baseline (every group ≥ `n/(2k)`).
+    ApproxPartition {
+        /// Number of groups.
+        k: usize,
+    },
+}
+
+impl ProtocolId {
+    /// The group count `k` this instance targets.
+    pub fn k(&self) -> usize {
+        match *self {
+            ProtocolId::UniformKPartition { k }
+            | ProtocolId::BasicStrategy { k }
+            | ProtocolId::OneSidedAbort { k }
+            | ProtocolId::ApproxPartition { k } => k,
+            ProtocolId::ComposedBipartition { h } => 1usize << h,
+        }
+    }
+
+    /// Canonical-key fragment; part of the content address, so any change
+    /// here invalidates every cached result of that protocol.
+    fn key_fragment(&self) -> String {
+        match *self {
+            ProtocolId::UniformKPartition { k } => format!("ukp:k={k}"),
+            ProtocolId::BasicStrategy { k } => format!("basic:k={k}"),
+            ProtocolId::OneSidedAbort { k } => format!("oneside:k={k}"),
+            ProtocolId::ComposedBipartition { h } => format!("composed:h={h}"),
+            ProtocolId::ApproxPartition { k } => format!("approx:k={k}"),
+        }
+    }
+
+    /// Short human-readable slug for store filenames.
+    fn slug(&self) -> String {
+        match *self {
+            ProtocolId::UniformKPartition { k } => format!("ukp-k{k}"),
+            ProtocolId::BasicStrategy { k } => format!("basic-k{k}"),
+            ProtocolId::OneSidedAbort { k } => format!("oneside-k{k}"),
+            ProtocolId::ComposedBipartition { h } => format!("composed-h{h}"),
+            ProtocolId::ApproxPartition { k } => format!("approx-k{k}"),
+        }
+    }
+}
+
+/// When a cell's runs stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CriterionKind {
+    /// The protocol's own stability criterion (stable signature for the
+    /// k-partition family, hierarchical stability for the baselines).
+    Stable,
+    /// No enabled transition changes any state (used by the ablation,
+    /// whose deadlocks are silent but non-uniform).
+    Silent,
+}
+
+/// What each trial records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellMode {
+    /// Interactions-to-stability only.
+    Summary,
+    /// Additionally the interaction at each increment of the watched
+    /// `g_k` state (Figure 4's instrumentation; k-partition only).
+    Watched,
+    /// Additionally the final count vector (for imbalance measurements).
+    Full,
+    /// A single sampled execution: configuration snapshots every
+    /// `sample_every` interactions (the trajectory experiment).
+    Trajectory {
+        /// Sampling period in interactions.
+        sample_every: u64,
+    },
+}
+
+impl CellMode {
+    fn key_fragment(&self) -> String {
+        match *self {
+            CellMode::Summary => "summary".into(),
+            CellMode::Watched => "watched".into(),
+            CellMode::Full => "full".into(),
+            CellMode::Trajectory { sample_every } => format!("traj:every={sample_every}"),
+        }
+    }
+}
+
+/// One cell: a batch of trials at fixed parameters.
+///
+/// `seed` is the *cell* seed, already derived from the sweep's master
+/// seed (the plans use `seeds::derive_labelled(master, k, n)`, matching
+/// the legacy binaries); trial `i` then runs with
+/// `seeds::derive(seed, i)`. Storing the derived seed makes the spec —
+/// and hence the content address — self-contained.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellSpec {
+    /// Protocol under test.
+    pub protocol: ProtocolId,
+    /// Population size.
+    pub n: u64,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Fully-derived cell seed (see type docs).
+    pub seed: u64,
+    /// Stopping criterion.
+    pub criterion: CriterionKind,
+    /// Per-trial interaction budget; trials exceeding it are censored.
+    pub budget: u64,
+    /// What each trial records.
+    pub mode: CellMode,
+}
+
+/// Format-version prefix of every canonical key. Bump when the journal /
+/// store record format or the execution semantics change incompatibly;
+/// old cache entries then simply miss (and `pp-sweep gc` collects them).
+pub const KEY_VERSION: &str = "v1";
+
+impl CellSpec {
+    /// The canonical key: a stable, human-readable string that pins every
+    /// input the cell's output depends on.
+    pub fn canonical_key(&self) -> String {
+        let crit = match self.criterion {
+            CriterionKind::Stable => "stable",
+            CriterionKind::Silent => "silent",
+        };
+        format!(
+            "{KEY_VERSION}|{}|n={}|trials={}|seed={}|crit={crit}|budget={}|mode={}",
+            self.protocol.key_fragment(),
+            self.n,
+            self.trials,
+            self.seed,
+            self.budget,
+            self.mode.key_fragment(),
+        )
+    }
+
+    /// FNV-1a 64-bit hash of the canonical key — the cell's content
+    /// address. Deliberately a from-scratch implementation with fixed
+    /// constants (not `DefaultHasher`, whose output may change between
+    /// Rust releases): the value is persisted in filenames and must be
+    /// stable across processes and toolchains.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical_key().as_bytes())
+    }
+
+    /// Store filename stem: human-readable slug plus the full hash, e.g.
+    /// `ukp-k4-n96-a1b2c3d4e5f60718`.
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}-n{}-{:016x}",
+            self.protocol.slug(),
+            self.n,
+            self.content_hash()
+        )
+    }
+
+    /// Compile the protocol and its stopping criterion.
+    pub fn materialize(&self) -> MaterializedCell {
+        let (proto, stable): (CompiledProtocol, AnyCriterion) = match self.protocol {
+            ProtocolId::UniformKPartition { k } => {
+                let p = UniformKPartition::new(k);
+                let c = AnyCriterion::Signature(p.stable_signature(self.n));
+                (p.compile(), c)
+            }
+            ProtocolId::BasicStrategy { k } => {
+                let p = BasicStrategyKPartition::new(k);
+                // The basic strategy has no stable signature (it can
+                // deadlock anywhere); its natural stopping point is
+                // silence, so Stable degrades to Silent.
+                (p.compile(), AnyCriterion::Silent(Silent))
+            }
+            ProtocolId::OneSidedAbort { k } => {
+                let p = OneSidedAbortKPartition::new(k);
+                let c = AnyCriterion::Signature(p.stable_signature(self.n));
+                (p.compile(), c)
+            }
+            ProtocolId::ComposedBipartition { h } => {
+                let p = HierarchicalPartition::composed(h);
+                let c = AnyCriterion::Hierarchical(p.stability());
+                (p.compile(), c)
+            }
+            ProtocolId::ApproxPartition { k } => {
+                let p = HierarchicalPartition::approx(k);
+                let c = AnyCriterion::Hierarchical(p.stability());
+                (p.compile(), c)
+            }
+        };
+        let criterion = match self.criterion {
+            CriterionKind::Stable => stable,
+            CriterionKind::Silent => AnyCriterion::Silent(Silent),
+        };
+        MaterializedCell { proto, criterion }
+    }
+
+    /// The watched state for [`CellMode::Watched`] cells: `g_k`.
+    ///
+    /// # Panics
+    /// If the protocol is not the uniform k-partition (the only protocol
+    /// the watched instrumentation is defined for).
+    pub fn watched_state(&self) -> StateId {
+        match self.protocol {
+            ProtocolId::UniformKPartition { k } => UniformKPartition::new(k).g(k),
+            other => panic!("watched mode is only defined for the paper's protocol, got {other:?}"),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit. Stable by construction.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A compiled protocol plus its stopping criterion.
+pub struct MaterializedCell {
+    /// The compiled protocol.
+    pub proto: CompiledProtocol,
+    /// The stopping criterion.
+    pub criterion: AnyCriterion,
+}
+
+/// Runtime-dispatched stability criterion, so heterogeneous cells fit in
+/// one queue.
+pub enum AnyCriterion {
+    /// A count signature (the k-partition family's Lemma 4–6 criterion).
+    Signature(Signature),
+    /// Hierarchical (baseline protocols).
+    Hierarchical(HierarchicalStable),
+    /// Silence.
+    Silent(Silent),
+}
+
+impl StabilityCriterion for AnyCriterion {
+    fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        match self {
+            AnyCriterion::Signature(c) => c.is_stable(proto, counts),
+            AnyCriterion::Hierarchical(c) => c.is_stable(proto, counts),
+            AnyCriterion::Silent(c) => c.is_stable(proto, counts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ukp_cell() -> CellSpec {
+        CellSpec {
+            protocol: ProtocolId::UniformKPartition { k: 4 },
+            n: 96,
+            trials: 100,
+            seed: 12345,
+            criterion: CriterionKind::Stable,
+            budget: 1_000_000,
+            mode: CellMode::Summary,
+        }
+    }
+
+    #[test]
+    fn canonical_key_pins_every_field() {
+        let base = ukp_cell();
+        let key = base.canonical_key();
+        assert_eq!(
+            key,
+            "v1|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary"
+        );
+        let variants = [
+            CellSpec {
+                n: 97,
+                ..base.clone()
+            },
+            CellSpec {
+                trials: 99,
+                ..base.clone()
+            },
+            CellSpec {
+                seed: 12346,
+                ..base.clone()
+            },
+            CellSpec {
+                criterion: CriterionKind::Silent,
+                ..base.clone()
+            },
+            CellSpec {
+                budget: 2,
+                ..base.clone()
+            },
+            CellSpec {
+                mode: CellMode::Full,
+                ..base.clone()
+            },
+            CellSpec {
+                protocol: ProtocolId::OneSidedAbort { k: 4 },
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.canonical_key(), key);
+            assert_ne!(v.content_hash(), base.content_hash());
+        }
+    }
+
+    #[test]
+    fn content_hash_is_process_independent() {
+        // Hardcoded expectation: this hash is persisted in store
+        // filenames, so it must never drift across runs, processes, or
+        // toolchain updates. If this test fails, the key format changed —
+        // bump KEY_VERSION and regenerate stores rather than silently
+        // aliasing old entries.
+        let h = ukp_cell().content_hash();
+        assert_eq!(h, fnv1a64(ukp_cell().canonical_key().as_bytes()));
+        let expected = fnv1a64(
+            b"v1|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary",
+        );
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn file_stem_embeds_slug_and_hash() {
+        let c = ukp_cell();
+        let stem = c.file_stem();
+        assert!(stem.starts_with("ukp-k4-n96-"));
+        assert!(stem.ends_with(&format!("{:016x}", c.content_hash())));
+    }
+
+    #[test]
+    fn materialize_all_protocols() {
+        use pp_engine::stability::StabilityCriterion as _;
+        for proto in [
+            ProtocolId::UniformKPartition { k: 3 },
+            ProtocolId::BasicStrategy { k: 3 },
+            ProtocolId::OneSidedAbort { k: 3 },
+            ProtocolId::ComposedBipartition { h: 2 },
+            ProtocolId::ApproxPartition { k: 3 },
+        ] {
+            let spec = CellSpec {
+                protocol: proto,
+                n: 12,
+                trials: 1,
+                seed: 1,
+                criterion: CriterionKind::Stable,
+                budget: 1000,
+                mode: CellMode::Summary,
+            };
+            let m = spec.materialize();
+            // The initial configuration is never already stable.
+            let mut counts = vec![0u64; m.proto.num_states()];
+            counts[m.proto.initial_state().index()] = 12;
+            assert!(!m.criterion.is_stable(&m.proto, &counts));
+        }
+    }
+
+    #[test]
+    fn k_accessor_matches_composition() {
+        assert_eq!(ProtocolId::ComposedBipartition { h: 3 }.k(), 8);
+        assert_eq!(ProtocolId::ApproxPartition { k: 5 }.k(), 5);
+    }
+}

@@ -201,9 +201,7 @@ where
         index.insert(graph.config(id), id);
     }
 
-    let is_stable: Vec<bool> = (0..num as u32)
-        .map(|id| stable(graph.config(id)))
-        .collect();
+    let is_stable: Vec<bool> = (0..num as u32).map(|id| stable(graph.config(id))).collect();
     if !is_stable.iter().any(|&s| s) {
         return Err(HittingError::NoStableConfigs);
     }
@@ -358,12 +356,7 @@ mod tests {
         let graph = ConfigGraph::explore(&proto, 3, 100).unwrap();
         // Configurations: (3,0) -> (1,2) -> stuck at (1,2) since only one
         // `a` remains. Stable predicate: fewer than two a's.
-        let ht = expected_interactions(
-            &graph,
-            |cfg| cfg[0] < 2,
-            SolverOptions::default(),
-        )
-        .unwrap();
+        let ht = expected_interactions(&graph, |cfg| cfg[0] < 2, SolverOptions::default()).unwrap();
         // From (3,0): P(pick an (a,a) ordered pair) = 3·2/(3·2) = 1, so
         // exactly one interaction.
         assert!((ht.expected_from_initial - 1.0).abs() < 1e-9);
@@ -381,8 +374,7 @@ mod tests {
         spec.add_rule(a, a, b, b);
         let proto = spec.compile().unwrap();
         let graph = ConfigGraph::explore(&proto, 4, 100).unwrap();
-        let ht = expected_interactions(&graph, |cfg| cfg[0] < 2, SolverOptions::default())
-            .unwrap();
+        let ht = expected_interactions(&graph, |cfg| cfg[0] < 2, SolverOptions::default()).unwrap();
         assert!(
             (ht.expected_from_initial - 7.0).abs() < 1e-8,
             "got {}",
@@ -405,8 +397,8 @@ mod tests {
             start[0] = n as u32 - 1;
             start[1] = 1;
             let graph = ConfigGraph::explore_from(&proto, start, 1000).unwrap();
-            let ht = expected_interactions(&graph, |cfg| cfg[0] == 0, SolverOptions::default())
-                .unwrap();
+            let ht =
+                expected_interactions(&graph, |cfg| cfg[0] == 0, SolverOptions::default()).unwrap();
             let exact: f64 = (1..n)
                 .map(|inf| (n * (n - 1)) as f64 / (2.0 * inf as f64 * (n - inf) as f64))
                 .sum();
@@ -468,8 +460,7 @@ mod tests {
         spec.set_initial(a);
         let proto = spec.compile().unwrap();
         let graph = ConfigGraph::explore(&proto, 3, 10).unwrap();
-        let err = expected_interactions(&graph, |_| false, SolverOptions::default())
-            .unwrap_err();
+        let err = expected_interactions(&graph, |_| false, SolverOptions::default()).unwrap_err();
         assert_eq!(err, HittingError::NoStableConfigs);
     }
 
@@ -489,8 +480,8 @@ mod tests {
         spec.add_rule_symmetric(a, c, c, c);
         let proto = spec.compile().unwrap();
         let graph = ConfigGraph::explore_from(&proto, vec![2, 0, 1], 100).unwrap();
-        let err = expected_interactions(&graph, |cfg| cfg[2] == 3, SolverOptions::default())
-            .unwrap_err();
+        let err =
+            expected_interactions(&graph, |cfg| cfg[2] == 3, SolverOptions::default()).unwrap_err();
         assert!(
             matches!(err, HittingError::StableSetUnreachable(_)),
             "{err:?}"

@@ -133,9 +133,7 @@ impl<'a> ConfigGraph<'a> {
                         Some(&nid) => nid,
                         None => {
                             if configs.len() >= max_configs {
-                                return Err(ExploreError::TooManyConfigs {
-                                    limit: max_configs,
-                                });
+                                return Err(ExploreError::TooManyConfigs { limit: max_configs });
                             }
                             let nid = configs.len() as u32;
                             index.insert(next.clone(), nid);
@@ -310,10 +308,7 @@ impl<'a> ConfigGraph<'a> {
                 let cfg = self.config(id);
                 let groups = self.group_sizes(cfg);
                 if !good_groups(&groups) {
-                    report.failure = Some(VerifyFailure::BadGroupSizes {
-                        config: id,
-                        groups,
-                    });
+                    report.failure = Some(VerifyFailure::BadGroupSizes { config: id, groups });
                     return report;
                 }
                 // Any transition enabled in a terminal-SCC configuration
@@ -329,11 +324,8 @@ impl<'a> ConfigGraph<'a> {
                         }
                         let q = StateId(qi as u16);
                         if self.proto.is_group_changing(p, q) {
-                            report.failure = Some(VerifyFailure::GroupChangeInTail {
-                                config: id,
-                                p,
-                                q,
-                            });
+                            report.failure =
+                                Some(VerifyFailure::GroupChangeInTail { config: id, p, q });
                             return report;
                         }
                     }
@@ -452,9 +444,7 @@ impl<'a> ConfigGraph<'a> {
     /// hundred configurations (render with `dot -Tsvg`).
     pub fn to_dot(&self, name: &str) -> String {
         let labels: Vec<String> = (0..self.num_configs() as u32)
-            .map(|id| {
-                pp_engine::trace::counts_pretty(self.proto, &self.to_counts(id))
-            })
+            .map(|id| pp_engine::trace::counts_pretty(self.proto, &self.to_counts(id)))
             .collect();
         let mut edges = Vec::new();
         for v in 0..self.num_configs() as u32 {

@@ -111,5 +111,8 @@ fn main() {
     let dot = protocol_dot(&proto);
     let path = std::env::temp_dir().join("handshake-matching.dot");
     std::fs::write(&path, &dot).expect("write dot");
-    println!("rule graph written to {} (render with `dot -Tsvg`)", path.display());
+    println!(
+        "rule graph written to {} (render with `dot -Tsvg`)",
+        path.display()
+    );
 }

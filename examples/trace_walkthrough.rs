@@ -64,12 +64,12 @@ fn main() {
     let mut exec = ScriptedExecution::from_states(
         &proto,
         vec![
-            kp.g(1),       // a1 — first chain's g1
-            kp.g(1),       // a2 — second chain's g1
-            kp.initial(),  // a3
-            kp.initial(),  // a4
-            kp.m(2),       // a5 — first chain's builder
-            kp.m(2),       // a6 — second chain's builder
+            kp.g(1),      // a1 — first chain's g1
+            kp.g(1),      // a2 — second chain's g1
+            kp.initial(), // a3
+            kp.initial(), // a4
+            kp.m(2),      // a5 — first chain's builder
+            kp.m(2),      // a6 — second chain's builder
         ],
     );
     show(&exec, "(a) two chains");

@@ -1,0 +1,75 @@
+//! Small, fast generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm behind rand 0.8's 64-bit `SmallRng`.
+/// Not cryptographically secure; excellent statistical quality and a
+/// 2^256 − 1 period, far beyond any sweep this workspace runs.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as rand_core documents for small seeds;
+        // guarantees a non-zero state for every seed.
+        let mut z = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+            ],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_xoshiro_stream() {
+        // Reference vector: xoshiro256++ from the all-SplitMix64(0..4)
+        // state must differ step to step and be reproducible.
+        let mut a = SmallRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let mut b = SmallRng::seed_from_u64(0);
+        let second: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn zero_seed_has_nonzero_state() {
+        let rng = SmallRng::seed_from_u64(0);
+        assert!(rng.s.iter().any(|&w| w != 0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of rayon's API it uses: `into_par_iter().map(f)
+//! .collect()` over ranges and vectors. Execution is genuinely parallel —
+//! a scoped worker pool pulls indices off a shared atomic counter — and
+//! **order-preserving**: `collect()` yields results in input order, which
+//! is what keeps seed-derived experiment output deterministic regardless
+//! of thread scheduling.
+//!
+//! Nesting policy: a `par` region inside a worker thread runs
+//! sequentially inline (one level of parallelism saturates the machine;
+//! unbounded nesting would oversubscribe it). This mirrors how the
+//! experiment stack uses rayon — cells across workers, trials inside a
+//! cell — without a work-stealing runtime.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested parallel
+    /// regions then run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of workers: `RAYON_NUM_THREADS` override, else available
+/// parallelism.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map: applies `f` to every item, returning
+/// results in input order. Sequential when nested inside another
+/// `par_map`, when only one worker is available, or for singleton inputs.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let results = &results;
+            let next = &next;
+            scope.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("claimed once");
+                    let out = f(item);
+                    *results[i].lock().unwrap() = Some(out);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Conversion into a (shim) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item yielded by the iterator.
+    type Item: Send;
+
+    /// Materialise into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_iter_range!(u32, u64, usize);
+
+/// A materialised parallel iterator (shim: a vector plus deferred ops).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map; consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Execute the map on the worker pool and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn nested_regions_run_inline_and_agree() {
+        let out: Vec<Vec<usize>> = (0usize..8)
+            .into_par_iter()
+            .map(|i| (0..i).into_par_iter().map(|j| j + i).collect())
+            .collect();
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &(0..i).map(|j| j + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0usize..64)
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        // One thread only if the host genuinely has a single core.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(distinct > 1, "expected parallel execution, saw {distinct}");
+        }
+    }
+}

@@ -43,14 +43,20 @@ fn exact_and_simulated(k: usize, n: u64, trials: u64) -> (f64, f64, f64) {
 fn simulated_mean_matches_exact_k2() {
     let (exact, sim, sem) = exact_and_simulated(2, 6, 300);
     let z = (sim - exact) / sem;
-    assert!(z.abs() < 4.0, "exact {exact}, sim {sim} ± {sem} (z = {z:.2})");
+    assert!(
+        z.abs() < 4.0,
+        "exact {exact}, sim {sim} ± {sem} (z = {z:.2})"
+    );
 }
 
 #[test]
 fn simulated_mean_matches_exact_k3() {
     let (exact, sim, sem) = exact_and_simulated(3, 7, 300);
     let z = (sim - exact) / sem;
-    assert!(z.abs() < 4.0, "exact {exact}, sim {sim} ± {sem} (z = {z:.2})");
+    assert!(
+        z.abs() < 4.0,
+        "exact {exact}, sim {sim} ± {sem} (z = {z:.2})"
+    );
 }
 
 /// The exact expectation reproduces Figure 3's remainder effect in

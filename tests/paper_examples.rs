@@ -142,9 +142,8 @@ fn figure2_population_recovers_to_uniform_partition() {
     exec.interact_all(&[(2, 4), (3, 4), (4, 5), (0, 5), (3, 4), (2, 4), (1, 4)]);
 
     // Hand the recovered population to the random simulator.
-    let mut pop = pp_engine::population::CountPopulation::from_counts(
-        exec.population().counts().to_vec(),
-    );
+    let mut pop =
+        pp_engine::population::CountPopulation::from_counts(exec.population().counts().to_vec());
     let mut sched = UniformRandomScheduler::from_seed(3);
     Simulator::new(&proto)
         .run(

@@ -64,10 +64,7 @@ fn complete_graph_scheduler_equivalent_to_uniform() {
             .run_agents(&mut pop, &mut sched, &sig, kp.interaction_budget(n as u64))
             .unwrap()
             .interactions;
-        assert_eq!(
-            pop.group_sizes(&proto),
-            kp.expected_group_sizes(n as u64)
-        );
+        assert_eq!(pop.group_sizes(&proto), kp.expected_group_sizes(n as u64));
     }
     assert!(sum > 0);
 }
@@ -87,9 +84,7 @@ fn per_agent_groups_frozen_after_stability() {
     Simulator::new(&proto)
         .run_agents(&mut pop, &mut sched, &sig, kp.interaction_budget(n as u64))
         .unwrap();
-    let groups_before: Vec<usize> = (0..n)
-        .map(|i| pop.group_of(&proto, i).number())
-        .collect();
+    let groups_before: Vec<usize> = (0..n).map(|i| pop.group_of(&proto, i).number()).collect();
 
     // Keep scheduling long after stability.
     use pp_engine::scheduler::AgentScheduler;
@@ -101,10 +96,11 @@ fn per_agent_groups_frozen_after_stability() {
             flips += 1;
         }
     }
-    let groups_after: Vec<usize> = (0..n)
-        .map(|i| pop.group_of(&proto, i).number())
-        .collect();
-    assert_eq!(groups_before, groups_after, "a group changed post-stability");
+    let groups_after: Vec<usize> = (0..n).map(|i| pop.group_of(&proto, i).number()).collect();
+    assert_eq!(
+        groups_before, groups_after,
+        "a group changed post-stability"
+    );
     // With r = 1 the free agent's initial/initial' flips continue forever
     // (rules 3–4) — state changes happen, group changes don't.
     assert!(flips > 0, "expected the lone free agent to keep flipping");
@@ -127,5 +123,8 @@ fn star_graph_cannot_partition() {
     assert!(res.is_err(), "bipartition cannot stabilise on a star");
     // Exactly one pair (hub + one leaf) ever settles: one agent in g2.
     let sizes = pop.group_sizes(&proto);
-    assert_eq!(sizes[1], 1, "only the hub's partner reaches group 2: {sizes:?}");
+    assert_eq!(
+        sizes[1], 1,
+        "only the hub's partner reaches group 2: {sizes:?}"
+    );
 }
