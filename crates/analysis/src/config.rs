@@ -8,9 +8,40 @@
 //! * `PP_SEED` — master seed (default 20180725, the paper's submission
 //!   date);
 //! * `PP_RESULTS_DIR` — where CSVs, logs, and the `pp-sweep` result
-//!   store live (default `<workspace root>/results`).
+//!   store live (default `<workspace root>/results`);
+//! * `PP_KERNEL` — simulation kernel selection (`auto`, `leap`, or
+//!   `naive`; default `auto`).
 
 use std::path::PathBuf;
+
+/// The `PP_KERNEL` knob: which simulation kernel count-population runs
+/// should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKnob {
+    /// Let the runner pick (currently the leap kernel wherever its
+    /// observer contract suffices; trajectory capture stays naive).
+    Auto,
+    /// Force the naive one-interaction-per-step loop.
+    Naive,
+    /// Force the leap kernel.
+    Leap,
+}
+
+/// Kernel selection; `PP_KERNEL` ∈ {`auto`, `naive`, `leap`}
+/// (case-insensitive) overrides the default `auto`. Unrecognised values
+/// fall back to `auto` rather than aborting, matching the other knobs'
+/// lenient parsing.
+pub fn kernel() -> KernelKnob {
+    match std::env::var("PP_KERNEL")
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "naive" => KernelKnob::Naive,
+        "leap" => KernelKnob::Leap,
+        _ => KernelKnob::Auto,
+    }
+}
 
 /// Trials per data point; `PP_TRIALS` overrides the paper's 100.
 pub fn trials() -> usize {

@@ -69,12 +69,43 @@ impl TrialBatch {
     }
 }
 
+/// Which simulation kernel a trial runs on. Participates in result
+/// identity wherever trials are cached (`pp-sweep` records it in the cell
+/// key): the kernels agree in distribution but consume randomness
+/// differently, so a given seed produces different — equally valid —
+/// trajectories under each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// The naive one-interaction-per-step loop ([`Simulator::run`]).
+    Naive,
+    /// The leap kernel ([`Simulator::run_leap`]): identity interactions
+    /// are skipped in closed form.
+    Leap,
+}
+
+impl Kernel {
+    /// Resolve the `PP_KERNEL` environment knob
+    /// ([`crate::config::kernel`]) to a concrete kernel; `auto` means
+    /// leap, which is exact for every criterion and for the observers the
+    /// batch runners use.
+    pub fn from_env() -> Kernel {
+        match crate::config::kernel() {
+            crate::config::KernelKnob::Naive => Kernel::Naive,
+            crate::config::KernelKnob::Leap | crate::config::KernelKnob::Auto => Kernel::Leap,
+        }
+    }
+}
+
 /// Run one trial with an already-derived `seed`, returning the
 /// interactions to stability or `None` if the run hit `max_interactions`
 /// (censored). This is the unit of work both the batch runners below and
 /// `pp-sweep`'s journaled executor share: trial `i` of a batch is exactly
 /// `run_trial(.., seeds::derive(master_seed, i), ..)`, so a resumed sweep
-/// reproduces a fresh one bit for bit.
+/// reproduces a fresh one bit for bit (per kernel — the kernel is part of
+/// a sweep cell's identity).
+///
+/// The kernel comes from the `PP_KERNEL` knob; see [`run_trial_kernel`]
+/// for an explicit choice.
 ///
 /// # Panics
 /// On any simulator error other than the interaction budget.
@@ -88,9 +119,39 @@ pub fn run_trial<C>(
 where
     C: StabilityCriterion,
 {
+    run_trial_kernel(
+        proto,
+        n,
+        criterion,
+        seed,
+        max_interactions,
+        Kernel::from_env(),
+    )
+}
+
+/// [`run_trial`] with an explicit kernel choice.
+///
+/// # Panics
+/// On any simulator error other than the interaction budget.
+pub fn run_trial_kernel<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    seed: u64,
+    max_interactions: u64,
+    kernel: Kernel,
+) -> Option<u64>
+where
+    C: StabilityCriterion,
+{
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
-    match Simulator::new(proto).run(&mut pop, &mut sched, criterion, max_interactions) {
+    let sim = Simulator::new(proto);
+    let res = match kernel {
+        Kernel::Naive => sim.run(&mut pop, &mut sched, criterion, max_interactions),
+        Kernel::Leap => sim.run_leap(&mut pop, &mut sched, criterion, max_interactions),
+    };
+    match res {
         Ok(r) => Some(r.interactions),
         Err(RunError::InteractionLimit { .. }) => None,
         Err(e) => panic!("trial failed: {e}"),
@@ -109,15 +170,17 @@ pub fn run_trials<C>(
 where
     C: StabilityCriterion + Sync,
 {
+    let kernel = Kernel::from_env();
     let results: Vec<Option<u64>> = (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            run_trial(
+            run_trial_kernel(
                 proto,
                 n,
                 criterion,
                 seeds::derive(cfg.master_seed, i),
                 cfg.max_interactions,
+                kernel,
             )
         })
         .collect();
@@ -149,23 +212,25 @@ pub fn run_trials_watching<C>(
 where
     C: StabilityCriterion + Sync,
 {
+    let kernel = Kernel::from_env();
     (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            run_trial_watching(
+            run_trial_watching_kernel(
                 proto,
                 n,
                 criterion,
                 watched_state,
                 seeds::derive(cfg.master_seed, i),
                 cfg.max_interactions,
+                kernel,
             )
         })
         .collect()
 }
 
 /// Single-trial form of [`run_trials_watching`] with an already-derived
-/// `seed` (see [`run_trial`]).
+/// `seed` (see [`run_trial`]); kernel from the `PP_KERNEL` knob.
 pub fn run_trial_watching<C>(
     proto: &CompiledProtocol,
     n: u64,
@@ -177,16 +242,46 @@ pub fn run_trial_watching<C>(
 where
     C: StabilityCriterion,
 {
+    run_trial_watching_kernel(
+        proto,
+        n,
+        criterion,
+        watched_state,
+        seed,
+        max_interactions,
+        Kernel::from_env(),
+    )
+}
+
+/// [`run_trial_watching`] with an explicit kernel. The
+/// [`pp_engine::observer::GroupCompletionObserver`] is leap-safe: watched
+/// counts cannot change during an identity run, so seeing only effective
+/// interactions (with true cumulative step numbers) records the same
+/// completion times the naive kernel would for the same trajectory.
+pub fn run_trial_watching_kernel<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    watched_state: pp_engine::protocol::StateId,
+    seed: u64,
+    max_interactions: u64,
+    kernel: Kernel,
+) -> WatchedTrial
+where
+    C: StabilityCriterion,
+{
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
     let mut obs = pp_engine::observer::GroupCompletionObserver::new(watched_state);
-    let res = Simulator::new(proto).run_observed(
-        &mut pop,
-        &mut sched,
-        criterion,
-        max_interactions,
-        &mut obs,
-    );
+    let sim = Simulator::new(proto);
+    let res = match kernel {
+        Kernel::Naive => {
+            sim.run_observed(&mut pop, &mut sched, criterion, max_interactions, &mut obs)
+        }
+        Kernel::Leap => {
+            sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut obs)
+        }
+    };
     match res {
         Ok(r) => WatchedTrial {
             total: Some(r.interactions),
@@ -234,22 +329,24 @@ pub fn run_trials_full<C>(
 where
     C: StabilityCriterion + Sync,
 {
+    let kernel = Kernel::from_env();
     (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
-            run_trial_full(
+            run_trial_full_kernel(
                 proto,
                 n,
                 criterion,
                 seeds::derive(cfg.master_seed, i),
                 cfg.max_interactions,
+                kernel,
             )
         })
         .collect()
 }
 
 /// Single-trial form of [`run_trials_full`] with an already-derived
-/// `seed` (see [`run_trial`]).
+/// `seed` (see [`run_trial`]); kernel from the `PP_KERNEL` knob.
 pub fn run_trial_full<C>(
     proto: &CompiledProtocol,
     n: u64,
@@ -260,9 +357,35 @@ pub fn run_trial_full<C>(
 where
     C: StabilityCriterion,
 {
+    run_trial_full_kernel(
+        proto,
+        n,
+        criterion,
+        seed,
+        max_interactions,
+        Kernel::from_env(),
+    )
+}
+
+/// [`run_trial_full`] with an explicit kernel.
+pub fn run_trial_full_kernel<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    seed: u64,
+    max_interactions: u64,
+    kernel: Kernel,
+) -> TrialOutcome
+where
+    C: StabilityCriterion,
+{
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
-    let res = Simulator::new(proto).run(&mut pop, &mut sched, criterion, max_interactions);
+    let sim = Simulator::new(proto);
+    let res = match kernel {
+        Kernel::Naive => sim.run(&mut pop, &mut sched, criterion, max_interactions),
+        Kernel::Leap => sim.run_leap(&mut pop, &mut sched, criterion, max_interactions),
+    };
     use pp_engine::population::Population;
     TrialOutcome {
         interactions: match res {

@@ -1,9 +1,11 @@
 //! Engine micro-benchmarks: the hot-loop primitives whose cost
 //! multiplies into every experiment — weighted pair sampling, the
-//! interaction step for both population representations, and the
-//! stability criteria.
+//! interaction step for both population representations, the stability
+//! criteria, and the naive-vs-leap kernel comparison whose numbers land
+//! in `BENCH_engine.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use pp_bench::kernelbench::{measure, BenchKernel, KernelMeasurement};
 use pp_engine::population::{AgentPopulation, CountPopulation, Population};
 use pp_engine::scheduler::{AgentScheduler, PairScheduler, UniformRandomScheduler};
 use pp_engine::simulator::Simulator;
@@ -116,12 +118,94 @@ fn compilation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Naive vs leap, whole runs to stability (k = 8). The naive loop pays
+/// for every scheduler draw, the leap kernel skips identity runs in
+/// O(1); at n = 1000 both stabilise in bench-friendly time.
+fn kernel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_to_stability_k8");
+    g.sample_size(3);
+    let budget = UniformKPartition::new(8).interaction_budget(1_000);
+    g.bench_function("naive/n1000", |b| {
+        b.iter(|| black_box(measure(BenchKernel::Naive, 8, 1_000, budget, 1)))
+    });
+    g.bench_function("leap/n1000", |b| {
+        b.iter(|| black_box(measure(BenchKernel::Leap, 8, 1_000, budget, 1)))
+    });
+    let budget_big = UniformKPartition::new(8).interaction_budget(100_000);
+    g.bench_function("leap/n100000", |b| {
+        b.iter(|| black_box(measure(BenchKernel::Leap, 8, 100_000, budget_big, 1)))
+    });
+    g.finish();
+}
+
+/// One JSON record per measured kernel run.
+fn measurement_json(m: &KernelMeasurement) -> pp_sweep::json::Value {
+    use pp_sweep::json::Value;
+    Value::obj([
+        ("kernel", Value::Str(m.kernel.label().to_string())),
+        ("interactions", Value::U64(m.interactions)),
+        (
+            "effective_interactions",
+            Value::U64(m.effective_interactions),
+        ),
+        ("micros", Value::U64((m.seconds * 1e6) as u64)),
+        (
+            "interactions_per_sec",
+            Value::U64(m.interactions_per_sec() as u64),
+        ),
+        ("stabilised", Value::Bool(m.stabilised)),
+    ])
+}
+
+/// Measure both kernels at n ∈ {10³, 10⁵} and write `BENCH_engine.json`
+/// at the workspace root. The naive run at n = 10⁵ is capped (censored)
+/// at 20M interactions — its per-interaction cost is flat, so the
+/// censored throughput is representative — while the leap runs go to
+/// stability.
+fn emit_bench_json() {
+    use pp_sweep::json::Value;
+    const K: usize = 8;
+    const SEED: u64 = 20180725;
+    let mut cells = Vec::new();
+    for &(n, naive_budget) in &[(1_000u64, u64::MAX), (100_000, 20_000_000)] {
+        let budget = UniformKPartition::new(K).interaction_budget(n);
+        let naive = measure(BenchKernel::Naive, K, n, naive_budget.min(budget), SEED);
+        let leap = measure(BenchKernel::Leap, K, n, budget, SEED);
+        let speedup = leap.interactions_per_sec() / naive.interactions_per_sec().max(1e-12);
+        println!(
+            "kernel_json/n{n}: naive {:.3e}/s, leap {:.3e}/s — {speedup:.1}x",
+            naive.interactions_per_sec(),
+            leap.interactions_per_sec()
+        );
+        cells.push(Value::obj([
+            ("n", Value::U64(n)),
+            ("naive", measurement_json(&naive)),
+            ("leap", measurement_json(&leap)),
+            ("speedup", Value::U64(speedup as u64)),
+        ]));
+    }
+    let doc = Value::obj([
+        ("bench", Value::Str("kernel_throughput".to_string())),
+        ("k", Value::U64(K as u64)),
+        ("seed", Value::U64(SEED)),
+        ("cells", Value::Arr(cells)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, doc.encode() + "\n").expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}
+
 criterion_group!(
     benches,
     count_population_steps,
     agent_population_steps,
     pair_sampling,
     stability_checks,
-    compilation
+    compilation,
+    kernel_throughput
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_bench_json();
+}

@@ -1,0 +1,154 @@
+//! Naive-vs-leap kernel measurement: the numbers behind
+//! `BENCH_engine.json` and the CI speedup smoke test.
+//!
+//! Both kernels simulate the same process — a uniform random scheduler
+//! drawing ordered pairs of distinct agents — so the honest throughput
+//! metric is *scheduler interactions per second*: identity (null)
+//! interactions included, because the paper's time metric counts them
+//! and the naive loop pays for each one. The leap kernel skips whole
+//! identity runs in O(1), which is exactly where its advantage shows.
+
+use std::time::Instant;
+
+use pp_engine::observer::Observer;
+use pp_engine::population::CountPopulation;
+use pp_engine::protocol::StateId;
+use pp_engine::scheduler::UniformRandomScheduler;
+use pp_engine::simulator::{RunError, Simulator};
+use pp_protocols::kpartition::UniformKPartition;
+
+/// Which simulation loop to measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchKernel {
+    /// One scheduler draw per interaction ([`Simulator::run`]).
+    Naive,
+    /// Geometric identity-run skipping ([`Simulator::run_leap`]).
+    Leap,
+}
+
+impl BenchKernel {
+    /// Lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchKernel::Naive => "naive",
+            BenchKernel::Leap => "leap",
+        }
+    }
+}
+
+/// One timed run of one kernel on one k-partition cell.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelMeasurement {
+    /// Which kernel ran.
+    pub kernel: BenchKernel,
+    /// Partition arity.
+    pub k: usize,
+    /// Population size.
+    pub n: u64,
+    /// Scheduler interactions simulated (identities included).
+    pub interactions: u64,
+    /// Interactions that changed the configuration.
+    pub effective_interactions: u64,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// Whether the run reached the stable signature within the budget.
+    pub stabilised: bool,
+}
+
+impl KernelMeasurement {
+    /// Scheduler interactions per wall-clock second.
+    pub fn interactions_per_sec(&self) -> f64 {
+        self.interactions as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Counts effective interactions; works on the censored path too, where
+/// `RunError` carries no counters. The leap kernel only reports
+/// effective interactions, the naive kernel reports identities as well,
+/// so counting `(p, q) != (p2, q2)` is right for both.
+#[derive(Default)]
+struct EffectiveCounter {
+    effective: u64,
+}
+
+impl Observer for EffectiveCounter {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        _step: u64,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        _counts: &[u64],
+    ) {
+        if (p, q) != (p2, q2) {
+            self.effective += 1;
+        }
+    }
+}
+
+/// Time one seeded k-partition run to stability (or to `budget`
+/// interactions, whichever comes first) under the given kernel.
+pub fn measure(kernel: BenchKernel, k: usize, n: u64, budget: u64, seed: u64) -> KernelMeasurement {
+    let kp = UniformKPartition::new(k);
+    let proto = kp.compile();
+    let criterion = kp.stable_signature(n);
+    let mut pop = CountPopulation::new(&proto, n);
+    let mut sched = UniformRandomScheduler::from_seed(seed);
+    let sim = Simulator::new(&proto);
+    let mut counter = EffectiveCounter::default();
+
+    let t0 = Instant::now();
+    let res = match kernel {
+        BenchKernel::Naive => {
+            sim.run_observed(&mut pop, &mut sched, &criterion, budget, &mut counter)
+        }
+        BenchKernel::Leap => {
+            sim.run_leap_observed(&mut pop, &mut sched, &criterion, budget, &mut counter)
+        }
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let (interactions, stabilised) = match res {
+        Ok(r) => {
+            debug_assert_eq!(r.effective_interactions, counter.effective);
+            (r.interactions, true)
+        }
+        // Censored at the budget: the kernel still simulated `limit`
+        // interactions, so the throughput number stays honest.
+        Err(RunError::InteractionLimit { limit }) => (limit, false),
+        Err(e) => panic!("bench run failed: {e}"),
+    };
+    KernelMeasurement {
+        kernel,
+        k,
+        n,
+        interactions,
+        effective_interactions: counter.effective,
+        seconds,
+        stabilised,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kernels_stabilise_a_small_cell() {
+        for kernel in [BenchKernel::Naive, BenchKernel::Leap] {
+            let m = measure(kernel, 3, 24, u64::MAX, 7);
+            assert!(m.stabilised, "{:?} failed to stabilise", kernel);
+            assert!(m.interactions >= m.effective_interactions);
+            assert!(m.interactions_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn censored_run_reports_the_budget() {
+        let m = measure(BenchKernel::Naive, 3, 24, 10, 7);
+        assert!(!m.stabilised);
+        assert_eq!(m.interactions, 10);
+    }
+}

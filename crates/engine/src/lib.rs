@@ -29,7 +29,9 @@
 //!   (the paper's convergence metric is "number of interactions until a
 //!   stable configuration").
 //! * [`simulator`] — the execution driver, with an [`observer`] hook for
-//!   recording events such as group-completion times.
+//!   recording events such as group-completion times. Offers a naive
+//!   one-interaction-per-step loop and a batched [`leap`] kernel that
+//!   skips identity interactions in closed form.
 //! * [`trace`] — scripted executions and human-readable configuration
 //!   pretty-printing (used to replay the paper's Figures 1 and 2).
 //! * [`graph`] — interaction graphs for the per-agent representation.
@@ -70,6 +72,7 @@
 
 pub mod dot;
 pub mod graph;
+pub mod leap;
 pub mod observer;
 pub mod population;
 pub mod protocol;
@@ -83,5 +86,5 @@ pub mod trace;
 pub use population::{AgentPopulation, CountPopulation, Population};
 pub use protocol::{CompiledProtocol, GroupId, StateId};
 pub use scheduler::UniformRandomScheduler;
-pub use simulator::{RunError, RunResult, Simulator};
+pub use simulator::{FixedRunSummary, RunError, RunResult, Simulator};
 pub use spec::ProtocolSpec;

@@ -24,6 +24,19 @@ pub trait Observer {
         q2: StateId,
         counts: &[u64],
     );
+
+    /// Called by the leap kernel ([`crate::simulator::Simulator::run_leap`])
+    /// after it skips a maximal run of `skipped ≥ 1` consecutive identity
+    /// interactions in closed form. `last_step` is the (1-based)
+    /// interaction number of the last skipped identity, and `counts` is
+    /// the configuration — unchanged throughout the run.
+    ///
+    /// The naive kernel never calls this hook (it reports identities one
+    /// by one through [`Observer::on_interaction`]); observers needing
+    /// per-identity granularity (e.g. [`TrajectorySampler`]) must run on
+    /// the naive kernel. The default implementation does nothing.
+    #[inline(always)]
+    fn on_identity_run(&mut self, _last_step: u64, _skipped: u64, _counts: &[u64]) {}
 }
 
 /// Observer that does nothing; compiles away.
@@ -237,6 +250,12 @@ impl<A: Observer, B: Observer> Observer for Chain<A, B> {
     ) {
         self.0.on_interaction(step, p, q, p2, q2, counts);
         self.1.on_interaction(step, p, q, p2, q2, counts);
+    }
+
+    #[inline]
+    fn on_identity_run(&mut self, last_step: u64, skipped: u64, counts: &[u64]) {
+        self.0.on_identity_run(last_step, skipped, counts);
+        self.1.on_identity_run(last_step, skipped, counts);
     }
 }
 

@@ -106,6 +106,10 @@ pub struct CompiledProtocol {
     table: Vec<(StateId, StateId)>,
     /// `identity[p * S + q]` is true iff `δ(p, q) = (p, q)`.
     identity: Vec<bool>,
+    /// Column-major transpose of `identity`: `identity_t[q * S + p]` is
+    /// true iff `δ(p, q) = (p, q)`. Kept so the leap kernel can walk a
+    /// *column* of the mask as a contiguous slice.
+    identity_t: Vec<bool>,
     /// `group_changing[p * S + q]` is true iff `δ(p, q)` changes `f` of
     /// either participant.
     group_changing: Vec<bool>,
@@ -136,6 +140,7 @@ impl CompiledProtocol {
         }
         let num_groups = groups.iter().map(|g| g.number()).max().unwrap_or(0);
         let mut identity = vec![false; s * s];
+        let mut identity_t = vec![false; s * s];
         let mut group_changing = vec![false; s * s];
         let mut symmetric = true;
         for p in 0..s {
@@ -147,7 +152,9 @@ impl CompiledProtocol {
                 if q2.index() >= s {
                     return Err(ProtocolError::StateOutOfRange(q2));
                 }
-                identity[p * s + q] = p2.index() == p && q2.index() == q;
+                let id = p2.index() == p && q2.index() == q;
+                identity[p * s + q] = id;
+                identity_t[q * s + p] = id;
                 group_changing[p * s + q] =
                     groups[p2.index()] != groups[p] || groups[q2.index()] != groups[q];
                 if p == q && p2 != q2 {
@@ -163,6 +170,7 @@ impl CompiledProtocol {
             initial,
             table,
             identity,
+            identity_t,
             group_changing,
             symmetric,
         })
@@ -220,6 +228,22 @@ impl CompiledProtocol {
     #[inline(always)]
     pub fn is_identity(&self, p: StateId, q: StateId) -> bool {
         self.identity[p.index() * self.num_states() + q.index()]
+    }
+
+    /// Row `p` of the identity mask as a contiguous slice:
+    /// `identity_row(p)[q] == is_identity(p, q)` for every `q`.
+    #[inline(always)]
+    pub fn identity_row(&self, p: StateId) -> &[bool] {
+        let s = self.num_states();
+        &self.identity[p.index() * s..(p.index() + 1) * s]
+    }
+
+    /// Column `q` of the identity mask as a contiguous slice:
+    /// `identity_col(q)[p] == is_identity(p, q)` for every `p`.
+    #[inline(always)]
+    pub fn identity_col(&self, q: StateId) -> &[bool] {
+        let s = self.num_states();
+        &self.identity_t[q.index() * s..(q.index() + 1) * s]
     }
 
     /// Whether `δ(p, q)` changes the group (under `f`) of either agent.

@@ -10,11 +10,22 @@
 //! The returned [`RunResult::interactions`] is precisely the paper's §5
 //! metric: the number of interactions performed strictly before the first
 //! stable configuration (a population that starts stable reports 0).
+//!
+//! Two kernels drive count-vector populations under the uniform random
+//! scheduler:
+//!
+//! * [`Simulator::run`] — the naive loop: one sampled pair per iteration.
+//! * [`Simulator::run_leap`] — the leap kernel: skips each maximal run of
+//!   identity interactions in closed form (see [`crate::leap`]), paying
+//!   per *effective* interaction instead of per interaction. Same
+//!   distribution over outcomes, orders of magnitude faster near
+//!   stabilisation where identity interactions dominate.
 
+use crate::leap::{sample_identity_run, IdentityWeights};
 use crate::observer::{NullObserver, Observer};
 use crate::population::{AgentPopulation, CountPopulation, Population};
 use crate::protocol::CompiledProtocol;
-use crate::scheduler::{AgentScheduler, PairScheduler};
+use crate::scheduler::{AgentScheduler, PairScheduler, UniformRandomScheduler};
 use crate::stability::StabilityCriterion;
 use std::fmt;
 
@@ -145,6 +156,124 @@ impl<'a> Simulator<'a> {
         })
     }
 
+    /// Run a count-vector population until stability with the **leap
+    /// kernel**, without observation. Same contract as [`Simulator::run`];
+    /// see [`Simulator::run_leap_observed`] for semantics.
+    pub fn run_leap<C>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut UniformRandomScheduler,
+        criterion: &C,
+        max_interactions: u64,
+    ) -> Result<RunResult, RunError>
+    where
+        C: StabilityCriterion,
+    {
+        self.run_leap_observed(
+            pop,
+            scheduler,
+            criterion,
+            max_interactions,
+            &mut NullObserver,
+        )
+    }
+
+    /// Run a count-vector population until stability with the **leap
+    /// kernel**: each maximal run of consecutive identity interactions is
+    /// sampled in closed form (geometric in the identity-pair probability,
+    /// see [`crate::leap`]) and credited to the interaction counter in
+    /// O(1), then one *effective* pair is sampled from the exact
+    /// conditional distribution and applied.
+    ///
+    /// Identical `RunResult`/`RunError` contract to
+    /// [`Simulator::run_observed`], and the returned statistics follow the
+    /// same distribution (the kernels consume randomness differently, so
+    /// individual runs differ for a given seed — equality is in law, not
+    /// bit-for-bit). The scheduler parameter is the concrete
+    /// [`UniformRandomScheduler`] because the geometric skip is an algebraic
+    /// property of precisely that scheduler.
+    ///
+    /// Observers see every effective interaction via
+    /// [`Observer::on_interaction`] with its true cumulative interaction
+    /// number, and each skipped identity run via
+    /// [`Observer::on_identity_run`]; per-identity callbacks do not happen,
+    /// so observers needing them (e.g.
+    /// [`crate::observer::TrajectorySampler`]) must use the naive kernel.
+    /// On the [`RunError::InteractionLimit`] path the trailing identity run
+    /// that overflows the budget is not reported.
+    ///
+    /// Stability is consulted through the criterion's incremental
+    /// [`crate::stability::StabilityTracker`], fed the same ±1 count deltas
+    /// the population applies.
+    pub fn run_leap_observed<C, O>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut UniformRandomScheduler,
+        criterion: &C,
+        max_interactions: u64,
+        observer: &mut O,
+    ) -> Result<RunResult, RunError>
+    where
+        C: StabilityCriterion,
+        O: Observer,
+    {
+        if criterion.is_stable(self.proto, pop.counts()) {
+            return Ok(RunResult {
+                interactions: 0,
+                effective_interactions: 0,
+            });
+        }
+        let n = pop.num_agents();
+        if n < 2 {
+            return Err(RunError::PopulationTooSmall);
+        }
+        let total = n * (n - 1);
+        let mut weights = IdentityWeights::new(self.proto, pop.counts());
+        let mut tracker = criterion.tracker(self.proto, pop.counts());
+        let mut interactions: u64 = 0;
+        let mut effective: u64 = 0;
+        loop {
+            let w_id = weights.identity_weight();
+            if w_id == total {
+                // Every enabled pair is an identity: the configuration can
+                // never change again, and the criterion already judged it
+                // unstable — the naive loop would spin to the limit.
+                return Err(RunError::InteractionLimit {
+                    limit: max_interactions,
+                });
+            }
+            let g = sample_identity_run(scheduler.rng_mut(), w_id, total);
+            // The naive loop admits the stabilising interaction only while
+            // the counter is below the limit: g identities plus one
+            // effective interaction must fit in the remaining budget.
+            if g >= max_interactions - interactions {
+                return Err(RunError::InteractionLimit {
+                    limit: max_interactions,
+                });
+            }
+            if g > 0 {
+                interactions += g;
+                observer.on_identity_run(interactions, g, pop.counts());
+            }
+            let (p, q) = weights.sample_effective(self.proto, pop, scheduler.rng_mut());
+            let (p2, q2) = self.proto.delta(p, q);
+            interactions += 1;
+            effective += 1;
+            for (s, delta) in [(p, -1), (q, -1), (p2, 1), (q2, 1)] {
+                weights.apply_delta(self.proto, s, delta);
+                tracker.apply_delta(s, delta);
+            }
+            pop.apply(p, q, p2, q2);
+            observer.on_interaction(interactions, p, q, p2, q2, pop.counts());
+            if tracker.is_stable(self.proto, pop.counts()) {
+                return Ok(RunResult {
+                    interactions,
+                    effective_interactions: effective,
+                });
+            }
+        }
+    }
+
     /// Run a per-agent population until stability (on its count
     /// projection), reporting every interaction to `observer`.
     pub fn run_agents_observed<S, C, O>(
@@ -213,28 +342,52 @@ impl<'a> Simulator<'a> {
         )
     }
 
-    /// Perform exactly `steps` interactions (regardless of stability) on a
-    /// count population, reporting each to `observer`. Useful for warm-up
-    /// and for protocols without a stability notion.
+    /// Perform exactly `steps` interactions on a count population,
+    /// reporting each (identity or not) to `observer` exactly as
+    /// [`Simulator::run_observed`] would — but with **no stability
+    /// criterion**: the run never short-circuits, and no stability check
+    /// is evaluated (not even initially). Useful for warm-up and for
+    /// protocols without a stability notion.
+    ///
+    /// Returns a [`FixedRunSummary`] whose `interactions` always equals
+    /// `steps` and whose `effective_interactions` counts the
+    /// state-changing subset, mirroring [`RunResult`]'s fields.
     pub fn run_fixed<S, O>(
         &self,
         pop: &mut CountPopulation,
         scheduler: &mut S,
         steps: u64,
         observer: &mut O,
-    ) where
+    ) -> FixedRunSummary
+    where
         S: PairScheduler,
         O: Observer,
     {
+        let mut effective: u64 = 0;
         for step in 1..=steps {
             let (p, q) = scheduler.select_pair(pop);
             let (p2, q2) = self.proto.delta(p, q);
             if p2 != p || q2 != q {
                 pop.apply(p, q, p2, q2);
+                effective += 1;
             }
             observer.on_interaction(step, p, q, p2, q2, pop.counts());
         }
+        FixedRunSummary {
+            interactions: steps,
+            effective_interactions: effective,
+        }
     }
+}
+
+/// Summary of a [`Simulator::run_fixed`] run (which cannot fail and does
+/// not stop early, hence no `Result`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FixedRunSummary {
+    /// Interactions performed — always the requested `steps`.
+    pub interactions: u64,
+    /// Of those, interactions whose transition changed at least one state.
+    pub effective_interactions: u64,
 }
 
 #[cfg(test)]
@@ -380,5 +533,198 @@ mod tests {
             .run(&mut pop, &mut sched, &Never, 50)
             .unwrap_err();
         assert_eq!(err, RunError::InteractionLimit { limit: 50 });
+    }
+
+    #[test]
+    fn run_fixed_counts_effective_interactions() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 10);
+        pop.set_count(s, 9);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(4);
+        let summary = Simulator::new(&p).run_fixed(&mut pop, &mut sched, 5_000, &mut NullObserver);
+        assert_eq!(summary.interactions, 5_000);
+        // 5 000 interactions at n = 10 is ample to infect everyone:
+        // exactly 9 effective (infection) interactions happened.
+        assert_eq!(summary.effective_interactions, 9);
+        assert_eq!(pop.count(i), 10);
+    }
+
+    #[test]
+    fn leap_epidemic_stabilises_everyone_infected() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 64);
+        pop.set_count(s, 63);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(11);
+        let res = Simulator::new(&p)
+            .run_leap(&mut pop, &mut sched, &Silent, 10_000_000)
+            .unwrap();
+        assert_eq!(pop.count(i), 64);
+        assert_eq!(res.effective_interactions, 63);
+        assert!(res.interactions >= 63);
+    }
+
+    #[test]
+    fn leap_already_stable_returns_zero() {
+        let p = epidemic();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 5);
+        pop.set_count(p.initial_state(), 0);
+        pop.set_count(i, 5);
+        let mut sched = UniformRandomScheduler::from_seed(0);
+        let res = Simulator::new(&p)
+            .run_leap(&mut pop, &mut sched, &Silent, 100)
+            .unwrap();
+        assert_eq!(res.interactions, 0);
+    }
+
+    #[test]
+    fn leap_limit_is_reported() {
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 1000);
+        pop.set_count(s, 999);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        // At n = 1000, stabilising takes ≫ 5 interactions (999 infections).
+        let err = Simulator::new(&p)
+            .run_leap(&mut pop, &mut sched, &Silent, 5)
+            .unwrap_err();
+        assert_eq!(err, RunError::InteractionLimit { limit: 5 });
+    }
+
+    #[test]
+    fn leap_too_small_population_errors() {
+        let p = epidemic();
+        let mut pop = CountPopulation::new(&p, 1);
+        let mut sched = UniformRandomScheduler::from_seed(2);
+        let err = Simulator::new(&p)
+            .run_leap(&mut pop, &mut sched, &Never, 5)
+            .unwrap_err();
+        assert_eq!(err, RunError::PopulationTooSmall);
+    }
+
+    #[test]
+    fn leap_all_identity_configuration_hits_limit_immediately() {
+        // All agents infected and criterion Never: every enabled pair is
+        // an identity, so the configuration can never change. The naive
+        // loop spins to the limit; the leap kernel reports the limit
+        // without spinning.
+        let p = epidemic();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 50);
+        pop.set_count(p.initial_state(), 0);
+        pop.set_count(i, 50);
+        let mut sched = UniformRandomScheduler::from_seed(3);
+        let err = Simulator::new(&p)
+            .run_leap(&mut pop, &mut sched, &Never, u64::MAX)
+            .unwrap_err();
+        assert_eq!(err, RunError::InteractionLimit { limit: u64::MAX });
+    }
+
+    #[test]
+    fn leap_observer_sees_consistent_interaction_numbering() {
+        // The cumulative step numbers reported to the observer must be
+        // strictly increasing, count every skipped identity, and end at
+        // the RunResult totals.
+        struct Checker {
+            last_step: u64,
+            effective_seen: u64,
+            identities_seen: u64,
+        }
+        impl crate::observer::Observer for Checker {
+            fn on_interaction(
+                &mut self,
+                step: u64,
+                _p: crate::protocol::StateId,
+                _q: crate::protocol::StateId,
+                _p2: crate::protocol::StateId,
+                _q2: crate::protocol::StateId,
+                _c: &[u64],
+            ) {
+                assert_eq!(step, self.last_step + 1, "effective step must follow");
+                self.last_step = step;
+                self.effective_seen += 1;
+            }
+            fn on_identity_run(&mut self, last_step: u64, skipped: u64, _c: &[u64]) {
+                assert!(skipped >= 1);
+                assert_eq!(last_step, self.last_step + skipped);
+                self.last_step = last_step;
+                self.identities_seen += skipped;
+            }
+        }
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let mut pop = CountPopulation::new(&p, 40);
+        pop.set_count(s, 39);
+        pop.set_count(i, 1);
+        let mut sched = UniformRandomScheduler::from_seed(17);
+        let mut obs = Checker {
+            last_step: 0,
+            effective_seen: 0,
+            identities_seen: 0,
+        };
+        let res = Simulator::new(&p)
+            .run_leap_observed(&mut pop, &mut sched, &Silent, 10_000_000, &mut obs)
+            .unwrap();
+        assert_eq!(obs.effective_seen, res.effective_interactions);
+        assert_eq!(
+            obs.identities_seen + obs.effective_seen,
+            res.interactions,
+            "every interaction is accounted for"
+        );
+        assert_eq!(obs.last_step, res.interactions);
+    }
+
+    #[test]
+    fn leap_and_naive_agree_on_mean_interactions() {
+        // Same protocol, same grid of seeds: the two kernels must produce
+        // statistically indistinguishable interactions-to-stability. The
+        // epidemic at n = 24 has mean ≈ n(n−1)/2 · H_{n−1} ≈ 1040; with
+        // 200 trials per kernel a 4-sigma band on the difference of means
+        // is a tight yet reliable check.
+        let p = epidemic();
+        let s = p.state_by_name("S").unwrap();
+        let i = p.state_by_name("I").unwrap();
+        let n = 24u64;
+        let trials = 200u64;
+        let run_batch = |leap: bool| -> Vec<f64> {
+            (0..trials)
+                .map(|t| {
+                    let mut pop = CountPopulation::new(&p, n);
+                    pop.set_count(s, n - 1);
+                    pop.set_count(i, 1);
+                    let mut sched =
+                        UniformRandomScheduler::from_seed(1000 + t + u64::from(leap) * 7919);
+                    let sim = Simulator::new(&p);
+                    let res = if leap {
+                        sim.run_leap(&mut pop, &mut sched, &Silent, u64::MAX)
+                    } else {
+                        sim.run(&mut pop, &mut sched, &Silent, u64::MAX)
+                    };
+                    res.unwrap().interactions as f64
+                })
+                .collect()
+        };
+        let naive = run_batch(false);
+        let leap = run_batch(true);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let var = |v: &[f64], m: f64| {
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+        };
+        let (mn, ml) = (mean(&naive), mean(&leap));
+        let se = ((var(&naive, mn) + var(&leap, ml)) / trials as f64).sqrt();
+        let z = (mn - ml) / se;
+        assert!(
+            z.abs() < 4.0,
+            "kernel means diverge: z = {z:.2} (naive {mn:.0}, leap {ml:.0})"
+        );
     }
 }

@@ -55,18 +55,81 @@ pub trait StabilityCriterion {
     /// count-changing interaction (identity interactions cannot change
     /// stability).
     fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool;
+
+    /// An incremental checker for this criterion, initialised at `counts`.
+    ///
+    /// The leap kernel ([`crate::simulator::Simulator::run_leap`]) drives
+    /// the returned [`StabilityTracker`] with the ±1 count deltas of every
+    /// applied transition, so criteria that can fold deltas (notably
+    /// [`Signature`]) answer stability in O(1) per interaction instead of
+    /// an O(|Q|) rescan. The default implementation falls back to
+    /// re-evaluating [`StabilityCriterion::is_stable`] on every query,
+    /// which is always correct.
+    fn tracker<'a>(
+        &'a self,
+        _proto: &CompiledProtocol,
+        _counts: &[u64],
+    ) -> Box<dyn StabilityTracker + 'a>
+    where
+        Self: Sized,
+    {
+        Box::new(RescanTracker { criterion: self })
+    }
+}
+
+/// Incremental form of a [`StabilityCriterion`]: consumes the ±1 count
+/// deltas of applied transitions and answers stability queries between
+/// them.
+///
+/// The simulator applies the four deltas of one transition
+/// (`p: −1, q: −1, p2: +1, q2: +1`) before querying
+/// [`StabilityTracker::is_stable`], so implementations may observe
+/// transient configurations mid-transition but are only *asked* about
+/// consistent ones.
+pub trait StabilityTracker {
+    /// Fold one count delta (`delta ∈ {−1, +1}`) on state `s`.
+    fn apply_delta(&mut self, s: StateId, delta: i64);
+
+    /// Whether the current configuration (equal to `counts`) is stable.
+    fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool;
+}
+
+/// Default tracker: ignores deltas and rescans via the wrapped criterion.
+struct RescanTracker<'a, C: ?Sized> {
+    criterion: &'a C,
+}
+
+impl<C: StabilityCriterion + ?Sized> StabilityTracker for RescanTracker<'_, C> {
+    #[inline(always)]
+    fn apply_delta(&mut self, _s: StateId, _delta: i64) {}
+
+    #[inline]
+    fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        self.criterion.is_stable(proto, counts)
+    }
 }
 
 /// Returns every ordered pair `(p, q)` enabled in `counts`
 /// (`counts[p] ≥ 1`, and `counts[q] ≥ 2` when `p == q`).
+///
+/// Skips zero-count states up front, so the cost is quadratic in the
+/// number of *occupied* states rather than in |Q|.
 pub fn enabled_pairs(counts: &[u64]) -> impl Iterator<Item = (StateId, StateId)> + '_ {
-    counts.iter().enumerate().flat_map(move |(pi, &cp)| {
-        counts
-            .iter()
-            .enumerate()
-            .filter(move |&(qi, &cq)| cp >= 1 && cq >= if pi == qi { 2 } else { 1 })
-            .map(move |(qi, _)| (StateId(pi as u16), StateId(qi as u16)))
-    })
+    let nz: Vec<(u16, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= 1)
+        .map(|(i, &c)| (i as u16, c))
+        .collect();
+    let mut pairs = Vec::with_capacity(nz.len() * nz.len());
+    for &(pi, _) in &nz {
+        for &(qi, cq) in &nz {
+            if pi != qi || cq >= 2 {
+                pairs.push((StateId(pi), StateId(qi)));
+            }
+        }
+    }
+    pairs.into_iter()
 }
 
 /// No enabled transition changes any state: the configuration is a sink.
@@ -199,6 +262,122 @@ impl StabilityCriterion for Signature {
     fn is_stable(&self, _proto: &CompiledProtocol, counts: &[u64]) -> bool {
         self.matches(counts)
     }
+
+    fn tracker<'a>(
+        &'a self,
+        _proto: &CompiledProtocol,
+        counts: &[u64],
+    ) -> Box<dyn StabilityTracker + 'a> {
+        Box::new(SignatureTracker::new(self, counts))
+    }
+}
+
+/// How a state is constrained inside a [`SignatureTracker`].
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// `counts[s]` must equal `want`; `cur` is the maintained count.
+    Fixed { cur: u64, want: u64 },
+    /// The state belongs to pool `i`; its count feeds `pool_cur[i]`.
+    Pool(usize),
+}
+
+/// O(1)-per-delta incremental checker for [`Signature`].
+///
+/// Maintains each fixed state's count and each pool's sum alongside a
+/// single violation counter (one unit per unsatisfied fixed state or
+/// pool), so a stability query is a comparison with zero.
+#[derive(Clone, Debug)]
+pub struct SignatureTracker {
+    slots: Vec<Slot>,
+    pool_cur: Vec<u64>,
+    pool_want: Vec<u64>,
+    violations: usize,
+}
+
+impl SignatureTracker {
+    /// Tracker for `sig`, initialised at configuration `counts`.
+    pub fn new(sig: &Signature, counts: &[u64]) -> Self {
+        debug_assert_eq!(counts.len(), sig.fixed.len());
+        let mut slots = vec![Slot::Pool(usize::MAX); counts.len()];
+        for (s, f) in sig.fixed.iter().enumerate() {
+            if let Some(want) = f {
+                slots[s] = Slot::Fixed {
+                    cur: counts[s],
+                    want: *want,
+                };
+            }
+        }
+        let mut pool_cur = Vec::with_capacity(sig.pools.len());
+        let mut pool_want = Vec::with_capacity(sig.pools.len());
+        for (i, (states, want)) in sig.pools.iter().enumerate() {
+            for s in states {
+                slots[s.index()] = Slot::Pool(i);
+            }
+            pool_cur.push(states.iter().map(|s| counts[s.index()]).sum());
+            pool_want.push(*want);
+        }
+        let mut violations = 0;
+        for slot in &slots {
+            if let Slot::Fixed { cur, want } = slot {
+                if cur != want {
+                    violations += 1;
+                }
+            }
+        }
+        violations += pool_cur
+            .iter()
+            .zip(&pool_want)
+            .filter(|(c, w)| c != w)
+            .count();
+        SignatureTracker {
+            slots,
+            pool_cur,
+            pool_want,
+            violations,
+        }
+    }
+}
+
+impl StabilityTracker for SignatureTracker {
+    #[inline]
+    fn apply_delta(&mut self, s: StateId, delta: i64) {
+        match &mut self.slots[s.index()] {
+            Slot::Fixed { cur, want } => {
+                let was_ok = *cur == *want;
+                if delta >= 0 {
+                    *cur += delta as u64;
+                } else {
+                    *cur -= delta.unsigned_abs();
+                }
+                let now_ok = *cur == *want;
+                if was_ok && !now_ok {
+                    self.violations += 1;
+                } else if !was_ok && now_ok {
+                    self.violations -= 1;
+                }
+            }
+            Slot::Pool(i) => {
+                let i = *i;
+                let was_ok = self.pool_cur[i] == self.pool_want[i];
+                if delta >= 0 {
+                    self.pool_cur[i] += delta as u64;
+                } else {
+                    self.pool_cur[i] -= delta.unsigned_abs();
+                }
+                let now_ok = self.pool_cur[i] == self.pool_want[i];
+                if was_ok && !now_ok {
+                    self.violations += 1;
+                } else if !was_ok && now_ok {
+                    self.violations -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn is_stable(&mut self, _proto: &CompiledProtocol, _counts: &[u64]) -> bool {
+        self.violations == 0
+    }
 }
 
 /// Never stable — run until the interaction limit.
@@ -225,6 +404,32 @@ impl<A: StabilityCriterion, B: StabilityCriterion> StabilityCriterion for Either
     #[inline]
     fn is_stable(&self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
         self.0.is_stable(proto, counts) || self.1.is_stable(proto, counts)
+    }
+
+    fn tracker<'a>(
+        &'a self,
+        proto: &CompiledProtocol,
+        counts: &[u64],
+    ) -> Box<dyn StabilityTracker + 'a> {
+        struct EitherTracker<'a> {
+            a: Box<dyn StabilityTracker + 'a>,
+            b: Box<dyn StabilityTracker + 'a>,
+        }
+        impl StabilityTracker for EitherTracker<'_> {
+            #[inline]
+            fn apply_delta(&mut self, s: StateId, delta: i64) {
+                self.a.apply_delta(s, delta);
+                self.b.apply_delta(s, delta);
+            }
+            #[inline]
+            fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+                self.a.is_stable(proto, counts) || self.b.is_stable(proto, counts)
+            }
+        }
+        Box::new(EitherTracker {
+            a: self.0.tracker(proto, counts),
+            b: self.1.tracker(proto, counts),
+        })
     }
 }
 

@@ -67,19 +67,28 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
         CellMode::Trajectory { .. } => spec.seed,
         _ => seeds::derive(spec.seed, trial),
     };
+    let kernel = spec.kernel.runner_kernel();
     match spec.mode {
         CellMode::Summary => TrialRecord::summary(
             trial,
-            pp_analysis::runner::run_trial(&cell.proto, spec.n, &cell.criterion, seed, spec.budget),
+            pp_analysis::runner::run_trial_kernel(
+                &cell.proto,
+                spec.n,
+                &cell.criterion,
+                seed,
+                spec.budget,
+                kernel,
+            ),
         ),
         CellMode::Watched => {
-            let w = pp_analysis::runner::run_trial_watching(
+            let w = pp_analysis::runner::run_trial_watching_kernel(
                 &cell.proto,
                 spec.n,
                 &cell.criterion,
                 spec.watched_state(),
                 seed,
                 spec.budget,
+                kernel,
             );
             TrialRecord {
                 trial,
@@ -90,12 +99,13 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
             }
         }
         CellMode::Full => {
-            let o = pp_analysis::runner::run_trial_full(
+            let o = pp_analysis::runner::run_trial_full_kernel(
                 &cell.proto,
                 spec.n,
                 &cell.criterion,
                 seed,
                 spec.budget,
+                kernel,
             );
             TrialRecord {
                 trial,
@@ -106,6 +116,10 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
             }
         }
         CellMode::Trajectory { sample_every } => {
+            // TrajectorySampler needs every interaction reported
+            // (identities included), which only the naive loop does;
+            // `KernelChoice::auto_for` pins trajectory cells to Naive.
+            debug_assert_eq!(kernel, pp_analysis::runner::Kernel::Naive);
             let mut pop = CountPopulation::new(&cell.proto, spec.n);
             let mut sched = UniformRandomScheduler::from_seed(seed);
             let mut sampler = TrajectorySampler::every(sample_every);
@@ -226,6 +240,7 @@ mod tests {
     }
 
     fn spec(mode: CellMode) -> CellSpec {
+        let kernel = crate::spec::KernelChoice::auto_for(mode);
         CellSpec {
             protocol: ProtocolId::UniformKPartition { k: 3 },
             n: 12,
@@ -234,6 +249,7 @@ mod tests {
             criterion: CriterionKind::Stable,
             budget: 10_000_000,
             mode,
+            kernel,
         }
     }
 
@@ -335,8 +351,7 @@ mod tests {
         let store = temp_store("traj");
         let s = CellSpec {
             trials: 1,
-            mode: CellMode::Trajectory { sample_every: 64 },
-            ..spec(CellMode::Summary)
+            ..spec(CellMode::Trajectory { sample_every: 64 })
         };
         let r = run_cell(&s, &store, &NullObserver, &ExecOptions::default())
             .unwrap()

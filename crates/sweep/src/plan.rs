@@ -10,7 +10,7 @@
 use pp_engine::seeds;
 use pp_protocols::kpartition::UniformKPartition;
 
-use crate::spec::{CellMode, CellSpec, CriterionKind, ProtocolId};
+use crate::spec::{CellMode, CellSpec, CriterionKind, KernelChoice, ProtocolId};
 use crate::store::{CellResult, ResultStore};
 
 /// A plan's reporter: renders tables and CSVs from the (complete) store.
@@ -74,6 +74,7 @@ pub fn ukp_cell(k: usize, n: u64, cfg: PlanConfig, mode: CellMode) -> CellSpec {
         criterion: CriterionKind::Stable,
         budget: kp.interaction_budget(n),
         mode,
+        kernel: KernelChoice::auto_for(mode),
     }
 }
 
@@ -89,6 +90,7 @@ pub fn baseline_cell(protocol: ProtocolId, n: u64, cfg: PlanConfig) -> CellSpec 
         criterion: CriterionKind::Stable,
         budget: 1_000_000_000_000,
         mode: CellMode::Full,
+        kernel: KernelChoice::auto_for(CellMode::Full),
     }
 }
 

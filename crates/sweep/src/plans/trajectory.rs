@@ -13,7 +13,7 @@ use pp_analysis::table::Table;
 use pp_protocols::kpartition::UniformKPartition;
 
 use crate::plan::{must_load, Plan, PlanConfig};
-use crate::spec::{CellMode, CellSpec, CriterionKind, ProtocolId};
+use crate::spec::{CellMode, CellSpec, CriterionKind, KernelChoice, ProtocolId};
 
 const KS: [usize; 3] = [4, 6, 8];
 const N: u64 = 240;
@@ -33,6 +33,9 @@ fn traj_cell(k: usize, cfg: PlanConfig) -> CellSpec {
         mode: CellMode::Trajectory {
             sample_every: SAMPLE_EVERY,
         },
+        // Trajectory capture samples every interaction (identities
+        // included), which only the naive kernel reports.
+        kernel: KernelChoice::Naive,
     }
 }
 

@@ -120,6 +120,54 @@ impl CellMode {
     }
 }
 
+/// Which simulation kernel a cell's trials run on.
+///
+/// Recorded in the spec — and hence in the canonical key — because the
+/// kernels agree in distribution but consume randomness differently: the
+/// same cell seed yields different (equally valid) trial records under
+/// each, so a cached naive cell must not satisfy a leap request or vice
+/// versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// The naive one-interaction-per-step loop.
+    Naive,
+    /// The leap kernel (identity interactions skipped in closed form).
+    Leap,
+}
+
+impl KernelChoice {
+    /// The kernel a cell of the given mode should run on, honouring the
+    /// `PP_KERNEL` knob. Trajectory capture needs per-identity observer
+    /// callbacks, which only the naive kernel delivers, so it pins naive
+    /// regardless of the knob; every other mode resolves `auto` to leap.
+    pub fn auto_for(mode: CellMode) -> KernelChoice {
+        if matches!(mode, CellMode::Trajectory { .. }) {
+            return KernelChoice::Naive;
+        }
+        match pp_analysis::config::kernel() {
+            pp_analysis::config::KernelKnob::Naive => KernelChoice::Naive,
+            pp_analysis::config::KernelKnob::Leap | pp_analysis::config::KernelKnob::Auto => {
+                KernelChoice::Leap
+            }
+        }
+    }
+
+    /// The equivalent [`pp_analysis::runner::Kernel`].
+    pub fn runner_kernel(self) -> pp_analysis::runner::Kernel {
+        match self {
+            KernelChoice::Naive => pp_analysis::runner::Kernel::Naive,
+            KernelChoice::Leap => pp_analysis::runner::Kernel::Leap,
+        }
+    }
+
+    fn key_fragment(&self) -> &'static str {
+        match self {
+            KernelChoice::Naive => "naive",
+            KernelChoice::Leap => "leap",
+        }
+    }
+}
+
 /// One cell: a batch of trials at fixed parameters.
 ///
 /// `seed` is the *cell* seed, already derived from the sweep's master
@@ -143,12 +191,18 @@ pub struct CellSpec {
     pub budget: u64,
     /// What each trial records.
     pub mode: CellMode,
+    /// Which simulation kernel runs the trials.
+    pub kernel: KernelChoice,
 }
 
 /// Format-version prefix of every canonical key. Bump when the journal /
 /// store record format or the execution semantics change incompatibly;
 /// old cache entries then simply miss (and `pp-sweep gc` collects them).
-pub const KEY_VERSION: &str = "v1";
+///
+/// v2: the simulation kernel joined the spec (and the key gained a
+/// `kernel=` fragment) — leap-kernel trial records are distribution-equal
+/// but not bit-equal to naive ones, so they must not alias.
+pub const KEY_VERSION: &str = "v2";
 
 impl CellSpec {
     /// The canonical key: a stable, human-readable string that pins every
@@ -159,13 +213,14 @@ impl CellSpec {
             CriterionKind::Silent => "silent",
         };
         format!(
-            "{KEY_VERSION}|{}|n={}|trials={}|seed={}|crit={crit}|budget={}|mode={}",
+            "{KEY_VERSION}|{}|n={}|trials={}|seed={}|crit={crit}|budget={}|mode={}|kernel={}",
             self.protocol.key_fragment(),
             self.n,
             self.trials,
             self.seed,
             self.budget,
             self.mode.key_fragment(),
+            self.kernel.key_fragment(),
         )
     }
 
@@ -277,6 +332,21 @@ impl StabilityCriterion for AnyCriterion {
             AnyCriterion::Silent(c) => c.is_stable(proto, counts),
         }
     }
+
+    // Forward to each variant's tracker so the leap kernel gets the
+    // Signature criterion's O(1) incremental checker instead of the
+    // default rescan wrapper around the enum.
+    fn tracker<'a>(
+        &'a self,
+        proto: &CompiledProtocol,
+        counts: &[u64],
+    ) -> Box<dyn pp_engine::stability::StabilityTracker + 'a> {
+        match self {
+            AnyCriterion::Signature(c) => c.tracker(proto, counts),
+            AnyCriterion::Hierarchical(c) => c.tracker(proto, counts),
+            AnyCriterion::Silent(c) => c.tracker(proto, counts),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +362,7 @@ mod tests {
             criterion: CriterionKind::Stable,
             budget: 1_000_000,
             mode: CellMode::Summary,
+            kernel: KernelChoice::Leap,
         }
     }
 
@@ -301,7 +372,7 @@ mod tests {
         let key = base.canonical_key();
         assert_eq!(
             key,
-            "v1|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary"
+            "v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
         );
         let variants = [
             CellSpec {
@@ -332,6 +403,10 @@ mod tests {
                 protocol: ProtocolId::OneSidedAbort { k: 4 },
                 ..base.clone()
             },
+            CellSpec {
+                kernel: KernelChoice::Naive,
+                ..base.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(v.canonical_key(), key);
@@ -349,9 +424,25 @@ mod tests {
         let h = ukp_cell().content_hash();
         assert_eq!(h, fnv1a64(ukp_cell().canonical_key().as_bytes()));
         let expected = fnv1a64(
-            b"v1|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary",
+            b"v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap",
         );
         assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn trajectory_mode_pins_naive_kernel() {
+        assert_eq!(
+            KernelChoice::auto_for(CellMode::Trajectory { sample_every: 10 }),
+            KernelChoice::Naive
+        );
+        // Non-trajectory modes resolve via the env knob; with PP_KERNEL
+        // unset (the test default) auto means leap.
+        if std::env::var("PP_KERNEL").is_err() {
+            assert_eq!(
+                KernelChoice::auto_for(CellMode::Summary),
+                KernelChoice::Leap
+            );
+        }
     }
 
     #[test]
@@ -380,6 +471,7 @@ mod tests {
                 criterion: CriterionKind::Stable,
                 budget: 1000,
                 mode: CellMode::Summary,
+                kernel: KernelChoice::Leap,
             };
             let m = spec.materialize();
             // The initial configuration is never already stable.

@@ -282,7 +282,7 @@ impl ResultStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{CellMode, CriterionKind, ProtocolId};
+    use crate::spec::{CellMode, CriterionKind, KernelChoice, ProtocolId};
 
     fn spec(trials: usize) -> CellSpec {
         CellSpec {
@@ -293,6 +293,7 @@ mod tests {
             criterion: CriterionKind::Stable,
             budget: 1_000_000,
             mode: CellMode::Summary,
+            kernel: KernelChoice::Leap,
         }
     }
 

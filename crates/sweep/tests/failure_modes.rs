@@ -13,7 +13,7 @@ use proptest::prelude::*;
 
 use pp_sweep::exec::{run_cell, CellOutcome, ExecOptions};
 use pp_sweep::observer::NullObserver;
-use pp_sweep::spec::{CellMode, CellSpec, CriterionKind, ProtocolId};
+use pp_sweep::spec::{CellMode, CellSpec, CriterionKind, KernelChoice, ProtocolId};
 use pp_sweep::store::ResultStore;
 
 const TRIALS: usize = 7;
@@ -27,6 +27,7 @@ fn small_cell(seed: u64, mode: CellMode) -> CellSpec {
         criterion: CriterionKind::Stable,
         budget: 10_000_000,
         mode,
+        kernel: KernelChoice::Leap,
     }
 }
 
@@ -188,13 +189,14 @@ fn content_hash_is_stable_across_processes() {
         criterion: CriterionKind::Stable,
         budget: 1_000_000,
         mode: CellMode::Summary,
+        kernel: KernelChoice::Leap,
     };
     assert_eq!(
         spec.canonical_key(),
-        "v1|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary"
+        "v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
     );
-    assert_eq!(spec.content_hash(), 0x2079_9dab_05d2_f519);
-    assert_eq!(spec.file_stem(), "ukp-k4-n96-20799dab05d2f519");
+    assert_eq!(spec.content_hash(), 0x4f6b_a54d_fe16_b0f0);
+    assert_eq!(spec.file_stem(), "ukp-k4-n96-4f6ba54dfe16b0f0");
 }
 
 /// Watched-mode cells (richer records) resume identically too — the
