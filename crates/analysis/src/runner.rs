@@ -146,14 +146,25 @@ where
 {
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
+    // Telemetry rides along as an observer: it never touches scheduling
+    // or RNG state, so trajectories — and the sweep cache's content
+    // hashes built on them — are bit-identical to an unobserved run.
+    let mut tel = pp_engine::metrics::TelemetryObserver::new();
     let sim = Simulator::new(proto);
     let res = match kernel {
-        Kernel::Naive => sim.run(&mut pop, &mut sched, criterion, max_interactions),
-        Kernel::Leap => sim.run_leap(&mut pop, &mut sched, criterion, max_interactions),
+        Kernel::Naive => {
+            sim.run_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
+        Kernel::Leap => {
+            sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
     };
     match res {
         Ok(r) => Some(r.interactions),
-        Err(RunError::InteractionLimit { .. }) => None,
+        Err(RunError::InteractionLimit { .. }) => {
+            tel.mark_censored();
+            None
+        }
         Err(e) => panic!("trial failed: {e}"),
     }
 }
@@ -272,7 +283,10 @@ where
 {
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
-    let mut obs = pp_engine::observer::GroupCompletionObserver::new(watched_state);
+    let mut obs = pp_engine::observer::Chain(
+        pp_engine::observer::GroupCompletionObserver::new(watched_state),
+        pp_engine::metrics::TelemetryObserver::new(),
+    );
     let sim = Simulator::new(proto);
     let res = match kernel {
         Kernel::Naive => {
@@ -282,15 +296,19 @@ where
             sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut obs)
         }
     };
+    let pp_engine::observer::Chain(gc, mut tel) = obs;
     match res {
         Ok(r) => WatchedTrial {
             total: Some(r.interactions),
-            completions: obs.into_completions(),
+            completions: gc.into_completions(),
         },
-        Err(RunError::InteractionLimit { .. }) => WatchedTrial {
-            total: None,
-            completions: obs.into_completions(),
-        },
+        Err(RunError::InteractionLimit { .. }) => {
+            tel.mark_censored();
+            WatchedTrial {
+                total: None,
+                completions: gc.into_completions(),
+            }
+        }
         Err(e) => panic!("trial failed: {e}"),
     }
 }
@@ -381,16 +399,24 @@ where
 {
     let mut pop = CountPopulation::new(proto, n);
     let mut sched = UniformRandomScheduler::from_seed(seed);
+    let mut tel = pp_engine::metrics::TelemetryObserver::new();
     let sim = Simulator::new(proto);
     let res = match kernel {
-        Kernel::Naive => sim.run(&mut pop, &mut sched, criterion, max_interactions),
-        Kernel::Leap => sim.run_leap(&mut pop, &mut sched, criterion, max_interactions),
+        Kernel::Naive => {
+            sim.run_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
+        Kernel::Leap => {
+            sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
     };
     use pp_engine::population::Population;
     TrialOutcome {
         interactions: match res {
             Ok(r) => Some(r.interactions),
-            Err(RunError::InteractionLimit { .. }) => None,
+            Err(RunError::InteractionLimit { .. }) => {
+                tel.mark_censored();
+                None
+            }
             Err(e) => panic!("trial failed: {e}"),
         },
         final_counts: pop.counts().to_vec(),

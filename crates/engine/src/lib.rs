@@ -73,6 +73,7 @@
 pub mod dot;
 pub mod graph;
 pub mod leap;
+pub mod metrics;
 pub mod observer;
 pub mod population;
 pub mod protocol;
@@ -83,6 +84,7 @@ pub mod spec;
 pub mod stability;
 pub mod trace;
 
+pub use metrics::{engine_metrics, EngineMetrics, TelemetryObserver};
 pub use population::{AgentPopulation, CountPopulation, Population};
 pub use protocol::{CompiledProtocol, GroupId, StateId};
 pub use scheduler::UniformRandomScheduler;

@@ -105,6 +105,10 @@ impl<C: StabilityCriterion + ?Sized> StabilityTracker for RescanTracker<'_, C> {
 
     #[inline]
     fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
+        // Each call is a full O(|Q|)-or-worse re-evaluation; counting them
+        // shows how much a criterion loses by not providing an incremental
+        // tracker. One relaxed add is noise next to the rescan itself.
+        crate::metrics::engine_metrics().stability_rescans.inc();
         self.criterion.is_stable(proto, counts)
     }
 }

@@ -4,9 +4,14 @@
 //! pp-sweep list               # registered plans
 //! pp-sweep run <plan>|all     # execute (cache-aware) and report
 //! pp-sweep resume <plan>|all  # alias of run: resume IS the default
-//! pp-sweep status [<plan>]    # per-plan cell completion state
+//! pp-sweep status [<plan>]    # per-plan cell completion state + telemetry
+//! pp-sweep metrics [path]     # validate + summarise a metrics export
 //! pp-sweep gc                 # drop store files no current plan references
 //! ```
+//!
+//! `run`/`resume` export telemetry as JSONL to `<results>/metrics.jsonl`
+//! after every run (see [`crate::telemetry`]); `--metrics <path>` writes
+//! an additional copy to an explicit location.
 //!
 //! Environment: `PP_TRIALS`, `PP_SEED`, `PP_RESULTS_DIR`, `PP_FIG6_KMAX`
 //! — all participate in cell identity, so changing them addresses
@@ -25,30 +30,59 @@ use crate::store::ResultStore;
 pub fn main_with_args(args: &[String]) -> i32 {
     let cfg = PlanConfig::from_env();
     let store = ResultStore::default_location();
-    match args {
+    // Split off the one option run/resume accept: `--metrics [path]`.
+    // An explicit path duplicates the export there; the default export
+    // next to the results happens regardless.
+    let (args, metrics_to): (Vec<&String>, Option<Option<String>>) = {
+        let mut rest = Vec::new();
+        let mut metrics = None;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if a == "--metrics" {
+                let path = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if path.is_some() {
+                    it.next();
+                }
+                metrics = Some(path);
+            } else {
+                rest.push(a);
+            }
+        }
+        (rest, metrics)
+    };
+    match args.as_slice() {
         [] => {
             eprintln!("{USAGE}");
             2
         }
-        [cmd] if cmd == "list" => {
+        [cmd] if *cmd == "list" => {
             list(cfg);
             0
         }
-        [cmd, name] if cmd == "run" || cmd == "resume" => run(name, cfg, &store),
-        [cmd] if cmd == "status" => {
+        [cmd, name] if *cmd == "run" || *cmd == "resume" => {
+            run(name, cfg, &store, metrics_to.flatten())
+        }
+        [cmd] if *cmd == "status" => {
             for p in plan::plans(cfg) {
                 status(&p, &store);
             }
+            status_telemetry(&store);
             0
         }
-        [cmd, name] if cmd == "status" => match plan::find(name, cfg) {
+        [cmd, name] if *cmd == "status" => match plan::find(name, cfg) {
             Some(p) => {
                 status(&p, &store);
+                status_telemetry(&store);
                 0
             }
             None => unknown_plan(name, cfg),
         },
-        [cmd] if cmd == "gc" => gc(cfg, &store),
+        [cmd] if *cmd == "gc" => gc(cfg, &store),
+        [cmd] if *cmd == "metrics" => metrics_cmd(&default_metrics_path(&store)),
+        [cmd, path] if *cmd == "metrics" => metrics_cmd(std::path::Path::new(path)),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -56,8 +90,14 @@ pub fn main_with_args(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str =
-    "usage: pp-sweep <list | run <plan|all> | resume <plan|all> | status [plan] | gc>";
+const USAGE: &str = "usage: pp-sweep <list | run <plan|all> [--metrics [path]] | \
+resume <plan|all> [--metrics [path]] | status [plan] | metrics [path] | gc>";
+
+/// Where `run` exports metrics by default (and where `status` and the
+/// bare `metrics` command look): next to the results they describe.
+fn default_metrics_path(store: &ResultStore) -> std::path::PathBuf {
+    store.dir().join("metrics.jsonl")
+}
 
 fn list(cfg: PlanConfig) {
     println!(
@@ -85,7 +125,7 @@ fn banner(p: &Plan, cfg: PlanConfig) {
     println!();
 }
 
-fn run(name: &str, cfg: PlanConfig, store: &ResultStore) -> i32 {
+fn run(name: &str, cfg: PlanConfig, store: &ResultStore, metrics_to: Option<String>) -> i32 {
     let selected: Vec<Plan> = if name == "all" {
         plan::plans(cfg)
     } else {
@@ -126,7 +166,60 @@ fn run(name: &str, cfg: PlanConfig, store: &ResultStore) -> i32 {
         }
         println!();
     }
+
+    // Every run leaves a machine-readable performance record next to its
+    // results; --metrics <path> exports an extra copy wherever asked.
+    let mut targets = vec![default_metrics_path(store)];
+    targets.extend(metrics_to.map(std::path::PathBuf::from));
+    for path in &targets {
+        if let Err(e) = crate::telemetry::write_metrics(path) {
+            eprintln!("pp-sweep: cannot write metrics to {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!("  metrics: {}", path.display());
+    }
     0
+}
+
+/// `pp-sweep metrics [path]`: parse an exported metrics file, check the
+/// core engine counters are present, and print the summary table.
+fn metrics_cmd(path: &std::path::Path) -> i32 {
+    let snap = match pp_telemetry::Snapshot::read_jsonl(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pp-sweep: cannot read metrics: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = crate::telemetry::validate_snapshot(&snap) {
+        eprintln!("pp-sweep: {}: invalid metrics export: {e}", path.display());
+        return 1;
+    }
+    println!("metrics from {}:", path.display());
+    print!("{}", snap.summary_table());
+    0
+}
+
+/// One compact line of engine/sweep totals from the default metrics
+/// export, if a run has produced one.
+fn status_telemetry(store: &ResultStore) {
+    let path = default_metrics_path(store);
+    let Ok(snap) = pp_telemetry::Snapshot::read_jsonl(&path) else {
+        return; // no export yet — say nothing rather than alarm
+    };
+    let v = |name: &str| snap.value(name).unwrap_or(0);
+    println!(
+        "telemetry (last run): {} interactions ({} effective) over {} engine runs; \
+{} cells ({} cached), {} trials simulated, {} recovered — {}",
+        v("engine.interactions"),
+        v("engine.effective_interactions"),
+        v("engine.runs"),
+        v("sweep.cells.completed"),
+        v("sweep.cells.cache_hits"),
+        v("sweep.trials.simulated"),
+        v("sweep.trials.recovered"),
+        path.display()
+    );
 }
 
 fn status(p: &Plan, store: &ResultStore) {
@@ -173,6 +266,7 @@ fn gc(cfg: PlanConfig, store: &ResultStore) -> i32 {
     // garbage. That is the point: gc reclaims results the current
     // configuration can no longer reach.
     let mut live: HashSet<String> = HashSet::new();
+    live.insert("metrics.jsonl".to_string()); // the default telemetry export
     for p in plan::plans(cfg) {
         for c in &p.cells {
             live.insert(format!("{}.json", c.file_stem()));

@@ -19,6 +19,7 @@ use crate::journal::{self, JournalWriter};
 use crate::observer::SweepObserver;
 use crate::spec::{CellMode, CellSpec, MaterializedCell};
 use crate::store::{CellResult, ResultStore, TrialRecord};
+use crate::telemetry::{record_cell, sweep_metrics, CellAccounting};
 
 /// Knobs for [`run_cell`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -166,15 +167,32 @@ pub fn run_cell(
     obs: &dyn SweepObserver,
     opts: &ExecOptions,
 ) -> std::io::Result<CellOutcome> {
+    let started = std::time::Instant::now();
+    let elapsed_micros =
+        |s: &std::time::Instant| s.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     if let Some(cached) = store.load(spec) {
+        record_cell(&CellAccounting {
+            file_stem: &spec.file_stem(),
+            cache_hit: true,
+            wall_micros: elapsed_micros(&started),
+            trials: cached.records.len() as u64,
+            recovered: 0,
+            censored: cached.censored() as u64,
+            interactions: cached.interactions().iter().sum(),
+        });
         obs.cell_finished(spec, true, 0);
         return Ok(CellOutcome::Complete(cached));
     }
 
     let journal_path = store.journal_path(spec);
-    let mut records = journal::load(&journal_path).records;
+    let journal_state = journal::load(&journal_path);
+    sweep_metrics()
+        .journal_discarded_lines
+        .add(journal_state.discarded_lines as u64);
+    let mut records = journal_state.records;
     records.retain(|&t, _| t < spec.trials as u64);
     let recovered = records.len();
+    sweep_metrics().trials_recovered.add(recovered as u64);
     let missing: Vec<u64> = (0..spec.trials as u64)
         .filter(|t| !records.contains_key(t))
         .collect();
@@ -199,6 +217,11 @@ pub fn run_cell(
                     if let Err(e) = writer.append(&rec) {
                         io_err.lock().unwrap().get_or_insert(e);
                     }
+                    let m = sweep_metrics();
+                    m.trials_simulated.inc();
+                    if rec.interactions.is_none() {
+                        m.trials_censored.inc();
+                    }
                     obs.trial_finished(spec, rec.interactions.is_none());
                     rec
                 })
@@ -222,6 +245,15 @@ pub fn run_cell(
 
     let sorted: Vec<TrialRecord> = records.into_values().collect();
     let result = store.save(spec, sorted)?;
+    record_cell(&CellAccounting {
+        file_stem: &spec.file_stem(),
+        cache_hit: false,
+        wall_micros: elapsed_micros(&started),
+        trials: result.records.len() as u64,
+        recovered: recovered as u64,
+        censored: result.censored() as u64,
+        interactions: result.interactions().iter().sum(),
+    });
     obs.cell_finished(spec, false, recovered);
     Ok(CellOutcome::Complete(result))
 }

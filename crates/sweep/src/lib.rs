@@ -37,3 +37,4 @@ pub mod plans;
 pub mod runner;
 pub mod spec;
 pub mod store;
+pub mod telemetry;

@@ -51,6 +51,12 @@ pub fn run_cells(
 
     obs.run_started(unique.len(), unique.iter().map(|c| c.trials as u64).sum());
 
+    let m = crate::telemetry::sweep_metrics();
+    let workers = rayon::current_num_threads() as u64;
+    m.shard_workers.set(workers);
+    let run_started = std::time::Instant::now();
+    let busy_before = m.shard_busy_micros.get();
+
     // Tee observer: tallies hit/simulated for the return value while
     // forwarding every event to the caller's observer.
     struct Tee<'a> {
@@ -92,6 +98,17 @@ pub fn run_cells(
     };
     for r in results {
         r?;
+    }
+
+    let wall = run_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    m.run_wall_micros.add(wall);
+    // Utilisation: busy mass this run over the pool's wall capacity.
+    // Cache-hit-only runs finish in microseconds; report them as idle
+    // rather than dividing by a meaninglessly small capacity.
+    let busy = m.shard_busy_micros.get().saturating_sub(busy_before);
+    let capacity = wall.saturating_mul(workers);
+    if let Some(pct) = (busy * 100).min(capacity * 100).checked_div(capacity) {
+        m.shard_utilisation_pct.set(pct);
     }
 
     let cache_hits = tee.hits.load(std::sync::atomic::Ordering::Relaxed);

@@ -1,0 +1,445 @@
+//! Snapshot, JSONL export/import, and the human-readable summary table.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every series in a registry.
+//! The JSONL form writes one JSON object per line so downstream tooling
+//! can stream-parse it (and a truncated file still yields every complete
+//! line); the whole format is integer-only, matching [`crate::json`].
+//!
+//! Line shapes:
+//!
+//! ```text
+//! {"kind":"counter","name":"engine.interactions","value":123}
+//! {"kind":"gauge","name":"sweep.shard.workers","value":8}
+//! {"kind":"histogram","name":"engine.identity_run_len","count":9,"sum":512,
+//!  "max":256,"buckets":[[1,4],[256,5]]}
+//! ```
+//!
+//! Histogram buckets are `[lo, count]` pairs for non-empty buckets only,
+//! where `lo` is the inclusive lower bound of the log₂ bucket. Labelled
+//! series carry a `"labels":{...}` object.
+
+use crate::json::Value;
+use crate::metrics::{bucket_lo, HISTOGRAM_BUCKETS};
+use crate::registry::{Entry, Metric, Registry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Point-in-time values of one metric series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Base metric name.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub data: MetricData,
+}
+
+/// Captured value of a metric, by kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricData {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram aggregate plus non-empty `[bucket_lo, count]` pairs.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples (saturating).
+        sum: u64,
+        /// Largest sample.
+        max: u64,
+        /// `(bucket lower bound, sample count)` for non-empty buckets.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// One entry per registered series, in deterministic key order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Capture every series in `reg`.
+    pub fn capture(reg: &Registry) -> Snapshot {
+        let metrics = reg
+            .entries()
+            .into_iter()
+            .map(
+                |Entry {
+                     name,
+                     labels,
+                     metric,
+                 }| {
+                    let data = match metric {
+                        Metric::Counter(c) => MetricData::Counter(c.get()),
+                        Metric::Gauge(g) => MetricData::Gauge(g.get()),
+                        Metric::Histogram(h) => {
+                            let buckets = h
+                                .buckets()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &c)| c != 0)
+                                .map(|(b, &c)| (bucket_lo(b), c))
+                                .collect();
+                            MetricData::Histogram {
+                                count: h.count(),
+                                sum: h.sum(),
+                                max: h.max(),
+                                buckets,
+                            }
+                        }
+                    };
+                    MetricSnapshot { name, labels, data }
+                },
+            )
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Capture the process-wide registry.
+    pub fn capture_global() -> Snapshot {
+        Snapshot::capture(crate::registry::global())
+    }
+
+    /// Look up a series by base name (first match; unlabelled series
+    /// have unique names).
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Counter/gauge value by name, if present.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        match &self.get(name)?.data {
+            MetricData::Counter(v) | MetricData::Gauge(v) => Some(*v),
+            MetricData::Histogram { .. } => None,
+        }
+    }
+
+    /// Encode as JSONL, one series per line, trailing newline included.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&m.to_json().encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL form to `path` (atomic enough for our purposes:
+    /// single writer at end of run).
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Parse a JSONL export back into a snapshot. Fails on the first
+    /// malformed line (blank lines are skipped).
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut metrics = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            metrics
+                .push(MetricSnapshot::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(Snapshot { metrics })
+    }
+
+    /// Read and parse a JSONL export from `path`.
+    pub fn read_jsonl(path: &Path) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Snapshot::from_jsonl(&text)
+    }
+
+    /// Render a fixed-width summary table for terminals.
+    ///
+    /// Counters and gauges print one row each; histograms print
+    /// count/mean/max. Labelled series are listed under their base name.
+    pub fn summary_table(&self) -> String {
+        if self.metrics.is_empty() {
+            return "(no metrics recorded)\n".to_string();
+        }
+        let mut rows: Vec<(String, String, String)> = Vec::new();
+        for m in &self.metrics {
+            let mut name = m.name.clone();
+            if !m.labels.is_empty() {
+                name.push('{');
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        name.push(',');
+                    }
+                    let _ = write!(name, "{k}={v}");
+                }
+                name.push('}');
+            }
+            let (kind, value) = match &m.data {
+                MetricData::Counter(v) => ("counter", v.to_string()),
+                MetricData::Gauge(v) => ("gauge", v.to_string()),
+                MetricData::Histogram {
+                    count, sum, max, ..
+                } => {
+                    let mean = if *count == 0 { 0 } else { sum / count };
+                    ("histogram", format!("count={count} mean={mean} max={max}"))
+                }
+            };
+            rows.push((name, kind.to_string(), value));
+        }
+        let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).max(6);
+        let kind_w = 9;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<name_w$}  {:<kind_w$}  value", "metric", "kind");
+        let _ = writeln!(out, "{}  {}  -----", "-".repeat(name_w), "-".repeat(kind_w));
+        for (name, kind, value) in rows {
+            let _ = writeln!(out, "{name:<name_w$}  {kind:<kind_w$}  {value}");
+        }
+        out
+    }
+}
+
+impl MetricSnapshot {
+    /// JSON form of one series (see module docs for the line shapes).
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_string(), Value::Str(self.name.clone()));
+        if !self.labels.is_empty() {
+            let labels = self
+                .labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect();
+            obj.insert("labels".to_string(), Value::Obj(labels));
+        }
+        match &self.data {
+            MetricData::Counter(v) => {
+                obj.insert("kind".to_string(), Value::Str("counter".into()));
+                obj.insert("value".to_string(), Value::U64(*v));
+            }
+            MetricData::Gauge(v) => {
+                obj.insert("kind".to_string(), Value::Str("gauge".into()));
+                obj.insert("value".to_string(), Value::U64(*v));
+            }
+            MetricData::Histogram {
+                count,
+                sum,
+                max,
+                buckets,
+            } => {
+                obj.insert("kind".to_string(), Value::Str("histogram".into()));
+                obj.insert("count".to_string(), Value::U64(*count));
+                obj.insert("sum".to_string(), Value::U64(*sum));
+                obj.insert("max".to_string(), Value::U64(*max));
+                obj.insert(
+                    "buckets".to_string(),
+                    Value::Arr(
+                        buckets
+                            .iter()
+                            .map(|(lo, c)| Value::u64_arr([*lo, *c]))
+                            .collect(),
+                    ),
+                );
+            }
+        }
+        Value::Obj(obj)
+    }
+
+    /// Parse one exported line back.
+    pub fn from_json(v: &Value) -> Result<MetricSnapshot, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing name")?
+            .to_string();
+        let labels = match v.get("labels") {
+            None => Vec::new(),
+            Some(Value::Obj(m)) => m
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("label {k:?} is not a string"))
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("labels is not an object".into()),
+        };
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing kind")?;
+        let data = match kind {
+            "counter" => MetricData::Counter(
+                v.get("value")
+                    .and_then(Value::as_u64)
+                    .ok_or("missing value")?,
+            ),
+            "gauge" => MetricData::Gauge(
+                v.get("value")
+                    .and_then(Value::as_u64)
+                    .ok_or("missing value")?,
+            ),
+            "histogram" => {
+                let count = v
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .ok_or("missing count")?;
+                let sum = v.get("sum").and_then(Value::as_u64).ok_or("missing sum")?;
+                let max = v.get("max").and_then(Value::as_u64).ok_or("missing max")?;
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or("missing buckets")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().ok_or("bucket is not a pair")?;
+                        match pair {
+                            [lo, c] => Ok((
+                                lo.as_u64().ok_or("bucket lo not u64")?,
+                                c.as_u64().ok_or("bucket count not u64")?,
+                            )),
+                            _ => Err("bucket is not a pair".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                if buckets.len() > HISTOGRAM_BUCKETS {
+                    return Err("too many buckets".into());
+                }
+                MetricData::Histogram {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                }
+            }
+            other => return Err(format!("unknown metric kind {other:?}")),
+        };
+        Ok(MetricSnapshot { name, labels, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("engine.interactions").add(1234);
+        reg.counter("engine.effective_interactions").add(400);
+        reg.gauge("sweep.shard.workers").set(8);
+        let h = reg.histogram("engine.identity_run_len");
+        for v in [0u64, 1, 5, 5, 1024, u64::MAX] {
+            h.record(v);
+        }
+        reg.counter_with("sweep.cell.trials", &[("cell", "fig3_k4_n96")])
+            .add(20);
+        reg
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        // Satellite: an exported snapshot survives encode → parse intact.
+        let snap = Snapshot::capture(&sample_registry());
+        let text = snap.to_jsonl();
+        let back = Snapshot::from_jsonl(&text).expect("parse own export");
+        assert_eq!(back, snap);
+        // And the round-trip is byte-stable.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "pp-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("metrics.jsonl");
+        let snap = Snapshot::capture(&sample_registry());
+        snap.write_jsonl(&path).expect("write");
+        let back = Snapshot::read_jsonl(&path).expect("read");
+        assert_eq!(back, snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_lookup_and_values() {
+        let snap = Snapshot::capture(&sample_registry());
+        assert_eq!(snap.value("engine.interactions"), Some(1234));
+        assert_eq!(snap.value("sweep.shard.workers"), Some(8));
+        assert_eq!(snap.value("engine.identity_run_len"), None); // histogram
+        assert!(snap.get("no.such.metric").is_none());
+        let MetricData::Histogram { count, max, .. } =
+            &snap.get("engine.identity_run_len").unwrap().data
+        else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 6);
+        assert_eq!(*max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_export_as_lo_count_pairs() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(u64::MAX);
+        let snap = Snapshot::capture(&reg);
+        let MetricData::Histogram { buckets, .. } = &snap.get("h").unwrap().data else {
+            panic!("expected histogram");
+        };
+        assert_eq!(buckets, &[(0, 1), (1, 2), (1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn labels_survive_round_trip() {
+        let snap = Snapshot::capture(&sample_registry());
+        let labelled = snap
+            .metrics
+            .iter()
+            .find(|m| !m.labels.is_empty())
+            .expect("labelled series present");
+        assert_eq!(labelled.name, "sweep.cell.trials");
+        assert_eq!(
+            labelled.labels,
+            [("cell".to_string(), "fig3_k4_n96".to_string())]
+        );
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Snapshot::from_jsonl("not json\n").is_err());
+        assert!(Snapshot::from_jsonl("{\"name\":\"x\"}\n").is_err()); // missing kind
+        assert!(Snapshot::from_jsonl("{\"kind\":\"counter\",\"name\":\"x\"}\n").is_err()); // no value
+        assert!(Snapshot::from_jsonl("{\"kind\":\"rate\",\"name\":\"x\",\"value\":1}\n").is_err());
+        // Blank lines are fine.
+        let ok = Snapshot::from_jsonl("\n{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\n\n");
+        assert_eq!(ok.unwrap().value("x"), Some(1));
+    }
+
+    #[test]
+    fn summary_table_mentions_every_series() {
+        let snap = Snapshot::capture(&sample_registry());
+        let table = snap.summary_table();
+        assert!(table.contains("engine.interactions"));
+        assert!(table.contains("sweep.cell.trials{cell=fig3_k4_n96}"));
+        assert!(table.contains("count=6"));
+        assert_eq!(
+            Snapshot::default().summary_table(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! `pp-telemetry`: zero-dependency metrics core for the uniform
+//! k-partition workspace.
+//!
+//! The paper's evaluation is about *where interactions go* — effective
+//! vs. identity interactions, per-group completion cost, stabilisation
+//! behaviour at scale. This crate provides the counters that answer
+//! those questions cheaply enough to leave on during real runs:
+//!
+//! - [`Counter`] / [`Gauge`] — single `AtomicU64`s, relaxed ordering.
+//! - [`Histogram`] — 65 fixed log₂ buckets covering all of `u64`;
+//!   [`LocalHistogram`] batches hot-path samples without atomics.
+//! - [`SpanTimer`] — RAII wall-clock spans in microseconds.
+//! - [`Registry`] — named handles; [`global()`] is the process-wide
+//!   instance, tests build their own for isolation.
+//! - [`Snapshot`] — JSONL export/import and a terminal summary table.
+//!
+//! Overhead contract: the engine's hot loops are instrumented through
+//! the existing `Observer` trait, never directly — with `NullObserver`
+//! the instrumentation monomorphises away entirely, and the telemetry
+//! observer itself tallies into plain `u64`s, touching shared atomics
+//! only when a run finishes. The `telemetry_overhead` criterion group in
+//! `pp-bench` guards this.
+//!
+//! No floats anywhere: durations are microseconds, ratios are left to
+//! consumers, so exports stay exactly representable in the workspace's
+//! integer-only JSON (the [`json`] module, which `pp-sweep` re-exports).
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use export::{MetricData, MetricSnapshot, Snapshot};
+pub use metrics::{
+    bucket_lo, bucket_of, Counter, Gauge, Histogram, LocalHistogram, SpanTimer, HISTOGRAM_BUCKETS,
+};
+pub use registry::{counter, gauge, global, histogram, span, Entry, Metric, Registry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_global_flow() {
+        // Names prefixed test.* so they are disjoint from production
+        // series even though the global registry is shared across tests.
+        counter("test.lib.events").add(2);
+        gauge("test.lib.level").set_max(7);
+        {
+            let _t = span("test.lib.span_micros");
+        }
+        let snap = Snapshot::capture_global();
+        assert!(snap.value("test.lib.events").unwrap() >= 2);
+        assert!(snap.value("test.lib.level").unwrap() >= 7);
+        let MetricData::Histogram { count, .. } = &snap.get("test.lib.span_micros").unwrap().data
+        else {
+            panic!("span should register a histogram");
+        };
+        assert!(*count >= 1);
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

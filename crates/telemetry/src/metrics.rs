@@ -1,0 +1,437 @@
+//! Metric primitives: atomic counters, gauges, log₂-bucketed histograms,
+//! and RAII span timers.
+//!
+//! Everything here is plain `std::sync::atomic` — no locks on the record
+//! path, no allocation after construction, no floats. All exported
+//! quantities are `u64` (durations are recorded in microseconds), which
+//! keeps snapshots exactly representable in the no-float JSON encoding
+//! used across the workspace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b - 1]`, up to bucket 64 for
+/// `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Map a value to its log₂ bucket index (see [`HISTOGRAM_BUCKETS`]).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `b`.
+#[inline]
+pub fn bucket_lo(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (tests and per-run snapshots).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written-wins instantaneous value (worker counts, frontier
+/// sizes). `set_max` supports high-water-mark gauges updated from
+/// several threads.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is currently lower.
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket resolution (factor-of-two) is deliberate: the quantities we
+/// histogram — identity-run lengths, cell wall times — span many orders
+/// of magnitude, and the paper-level questions ("are identity runs
+/// mostly thousands or millions of steps at this n?") only need the
+/// exponent. 65 fixed buckets cover the full `u64` range with no
+/// configuration and no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow (2^64 µs ≈ 580k years) would
+        // otherwise silently wrap.
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            })
+            .ok();
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts, indexed by bucket.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Integer mean of the samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Merge a batch of locally accumulated samples (one atomic RMW per
+    /// non-empty bucket instead of one per sample).
+    pub fn merge(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (b, &c) in local.buckets.iter().enumerate() {
+            if c != 0 {
+                self.buckets[b].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(local.sum))
+            })
+            .ok();
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    /// Reset all buckets and aggregates to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Unsynchronised histogram for hot-path accumulation on one thread;
+/// flush into a shared [`Histogram`] with [`Histogram::merge`].
+#[derive(Clone, Debug)]
+pub struct LocalHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// New empty local histogram.
+    pub const fn new() -> Self {
+        LocalHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample (no atomics).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// RAII wall-clock timer: records elapsed microseconds into a histogram
+/// when dropped.
+///
+/// ```
+/// use pp_telemetry::{Histogram, SpanTimer};
+/// use std::sync::Arc;
+///
+/// let hist = Arc::new(Histogram::new());
+/// {
+///     let _span = SpanTimer::new(Arc::clone(&hist));
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: std::sync::Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing; the sample lands in `hist` on drop.
+    pub fn new(hist: std::sync::Arc<Histogram>) -> Self {
+        SpanTimer {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed so far (the value that will be recorded).
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_micros();
+        self.hist.record(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Satellite: exact boundary behaviour. Bucket 0 = {0},
+        // bucket b>=1 = [2^(b-1), 2^b - 1].
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for b in 1..=63usize {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_of(lo), b, "lower edge of bucket {b}");
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_of(hi), b, "upper edge of bucket {b}");
+            assert_eq!(bucket_lo(b), lo);
+        }
+        assert_eq!(bucket_of(1u64 << 63), 64);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_records_u64_max_without_panicking() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.buckets()[64], 2);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1041);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.mean(), 173);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 2); // 1, 1
+        assert_eq!(b[3], 1); // 7
+        assert_eq!(b[4], 1); // 8
+        assert_eq!(b[11], 1); // 1024
+    }
+
+    #[test]
+    fn local_histogram_merge_matches_direct_recording() {
+        let direct = Histogram::new();
+        let shared = Histogram::new();
+        let mut local = LocalHistogram::new();
+        for v in [0u64, 3, 3, 100, u64::MAX] {
+            direct.record(v);
+            local.record(v);
+        }
+        shared.merge(&local);
+        assert_eq!(shared.count(), direct.count());
+        assert_eq!(shared.sum(), direct.sum());
+        assert_eq!(shared.max(), direct.max());
+        assert_eq!(shared.buckets(), direct.buckets());
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        // Satellite: counters shared across sharded sweep workers must
+        // not lose increments.
+        let c = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.max(), 3999);
+    }
+
+    #[test]
+    fn gauge_set_and_set_max() {
+        let g = Gauge::new();
+        g.set(10);
+        assert_eq!(g.get(), 10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+        g.set_max(20);
+        assert_eq!(g.get(), 20);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let t = SpanTimer::new(Arc::clone(&h));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(t.elapsed_micros() >= 1000);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1000, "slept 2ms, recorded {}µs", h.max());
+    }
+}

@@ -36,6 +36,38 @@ use pp_engine::population::Population;
 use pp_engine::protocol::{CompiledProtocol, StateId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// The verifier's series in the process-wide telemetry registry:
+///
+/// | name                      | kind    | meaning |
+/// |---------------------------|---------|---------|
+/// | `verify.explorations`     | counter | configuration-space explorations started |
+/// | `verify.configs_explored` | counter | configurations discovered (incl. aborted runs) |
+/// | `verify.frontier_peak`    | gauge   | max BFS/DFS frontier length seen (high-water) |
+/// | `verify.sccs`             | counter | strongly connected components found |
+/// | `verify.terminal_sccs`    | counter | of those, terminal |
+struct VerifyMetrics {
+    explorations: Arc<pp_telemetry::Counter>,
+    configs_explored: Arc<pp_telemetry::Counter>,
+    frontier_peak: Arc<pp_telemetry::Gauge>,
+    sccs: Arc<pp_telemetry::Counter>,
+    terminal_sccs: Arc<pp_telemetry::Counter>,
+}
+
+fn verify_metrics() -> &'static VerifyMetrics {
+    static GLOBAL: OnceLock<VerifyMetrics> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let reg = pp_telemetry::global();
+        VerifyMetrics {
+            explorations: reg.counter("verify.explorations"),
+            configs_explored: reg.counter("verify.configs_explored"),
+            frontier_peak: reg.gauge("verify.frontier_peak"),
+            sccs: reg.counter("verify.sccs"),
+            terminal_sccs: reg.counter("verify.terminal_sccs"),
+        }
+    })
+}
 
 /// Errors during configuration-space exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +128,8 @@ impl<'a> ConfigGraph<'a> {
     ) -> Result<Self, ExploreError> {
         assert_eq!(start.len(), proto.num_states());
         let n = start.iter().map(|&c| u64::from(c)).sum();
+        let metrics = verify_metrics();
+        metrics.explorations.inc();
         let mut configs: Vec<Box<[u32]>> = Vec::new();
         let mut index: HashMap<Box<[u32]>, u32> = HashMap::new();
         let mut succs: Vec<Vec<u32>> = Vec::new();
@@ -106,6 +140,7 @@ impl<'a> ConfigGraph<'a> {
         configs.push(start);
         succs.push(Vec::new());
         frontier.push(0);
+        let mut frontier_peak = frontier.len();
 
         while let Some(id) = frontier.pop() {
             let cfg = configs[id as usize].clone();
@@ -133,6 +168,11 @@ impl<'a> ConfigGraph<'a> {
                         Some(&nid) => nid,
                         None => {
                             if configs.len() >= max_configs {
+                                // Account for the aborted run too, so an
+                                // export after TooManyConfigs still shows
+                                // how far exploration got.
+                                metrics.configs_explored.add(configs.len() as u64);
+                                metrics.frontier_peak.set_max(frontier_peak as u64);
                                 return Err(ExploreError::TooManyConfigs { limit: max_configs });
                             }
                             let nid = configs.len() as u32;
@@ -140,6 +180,7 @@ impl<'a> ConfigGraph<'a> {
                             configs.push(next);
                             succs.push(Vec::new());
                             frontier.push(nid);
+                            frontier_peak = frontier_peak.max(frontier.len());
                             nid
                         }
                     };
@@ -150,6 +191,8 @@ impl<'a> ConfigGraph<'a> {
             out.dedup();
             succs[id as usize] = out;
         }
+        metrics.configs_explored.add(configs.len() as u64);
+        metrics.frontier_peak.set_max(frontier_peak as u64);
         Ok(ConfigGraph {
             proto,
             n,
@@ -250,6 +293,7 @@ impl<'a> ConfigGraph<'a> {
                 }
             }
         }
+        verify_metrics().sccs.add(scc_count as u64);
         (scc_of, scc_count)
     }
 
@@ -285,6 +329,7 @@ impl<'a> ConfigGraph<'a> {
             }
         }
         groups.retain(|g| !g.is_empty());
+        verify_metrics().terminal_sccs.add(groups.len() as u64);
         groups
     }
 
@@ -708,5 +753,41 @@ mod tests {
         let g = ConfigGraph::explore_from(&p, vec![2, 1], 100).unwrap();
         assert_eq!(g.to_counts(0), vec![2, 1]);
         assert_eq!(g.population_size(), 3);
+    }
+
+    /// Exploration and SCC analysis accrue into the global telemetry
+    /// registry — deltas only, since other tests share the registry.
+    #[test]
+    fn telemetry_counts_explorations_and_sccs() {
+        let snap = |name: &str| {
+            pp_telemetry::Snapshot::capture_global()
+                .value(name)
+                .unwrap_or(0)
+        };
+        let explorations0 = snap("verify.explorations");
+        let configs0 = snap("verify.configs_explored");
+        let sccs0 = snap("verify.sccs");
+        let terminals0 = snap("verify.terminal_sccs");
+
+        let p = epidemic();
+        let g = ConfigGraph::explore_from(&p, vec![4, 1], 1000).unwrap();
+        let t = g.terminal_sccs();
+        assert_eq!(t.len(), 1);
+
+        assert_eq!(snap("verify.explorations"), explorations0 + 1);
+        // The epidemic chain has 5 reachable configurations, each its own
+        // SCC (all transitions strictly increase the infected count).
+        assert_eq!(snap("verify.configs_explored"), configs0 + 5);
+        assert_eq!(snap("verify.sccs"), sccs0 + 5);
+        assert_eq!(snap("verify.terminal_sccs"), terminals0 + 1);
+        assert!(snap("verify.frontier_peak") >= 1);
+
+        // The budget-abort path still flushes its partial tally.
+        let before_abort = snap("verify.configs_explored");
+        let Err(err) = ConfigGraph::explore_from(&p, vec![4, 1], 2) else {
+            panic!("budget of 2 must abort a 5-config space");
+        };
+        assert_eq!(err, ExploreError::TooManyConfigs { limit: 2 });
+        assert!(snap("verify.configs_explored") >= before_abort + 2);
     }
 }

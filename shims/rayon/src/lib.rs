@@ -43,6 +43,13 @@ fn num_threads() -> usize {
         })
 }
 
+/// Number of worker threads a parallel region will use (real rayon's
+/// `current_num_threads`): the `RAYON_NUM_THREADS` override, else
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 /// Order-preserving parallel map: applies `f` to every item, returning
 /// results in input order. Sequential when nested inside another
 /// `par_map`, when only one worker is available, or for singleton inputs.

@@ -16,6 +16,8 @@
 //!   ([`pp_verify`]).
 //! * [`analysis`] — trial runners, statistics, and table output
 //!   ([`pp_analysis`]).
+//! * [`telemetry`] — zero-dependency metrics registry and JSONL export
+//!   ([`pp_telemetry`]).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 pub use pp_analysis as analysis;
 pub use pp_engine as engine;
 pub use pp_protocols as protocols;
+pub use pp_telemetry as telemetry;
 pub use pp_verify as verify;
 
 /// The most common imports, bundled.
@@ -70,7 +73,7 @@ mod facade_tests {
         assert!(result.interactions > 0);
     }
 
-    /// All four crates are reachable through the facade.
+    /// All five crates are reachable through the facade.
     #[test]
     fn reexports_resolve() {
         let _ = crate::engine::seeds::derive(1, 2);
@@ -79,5 +82,6 @@ mod facade_tests {
         let proto = crate::protocols::classics::epidemic();
         let g = crate::verify::ConfigGraph::explore(&proto, 3, 100).unwrap();
         assert_eq!(g.num_configs(), 1);
+        assert_eq!(crate::telemetry::bucket_of(0), 0);
     }
 }
