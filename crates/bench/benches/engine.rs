@@ -181,6 +181,60 @@ fn telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Same contract as `telemetry_overhead`: the trace recorder must stay
+/// cheap enough to leave on during sweeps. `disabled` measures the
+/// one-branch-per-callback cost of a recorder that is present but off;
+/// `trace_recorder` measures full encoding (the final `finish` +
+/// checksum included, since that is what a traced cell pays).
+fn trace_overhead(c: &mut Criterion) {
+    use pp_trace::{TraceKernel, TraceRecorder};
+    let kp = UniformKPartition::new(8);
+    let proto = kp.compile();
+    let criterion = kp.stable_signature(1_000);
+    let budget = kp.interaction_budget(1_000);
+    let mut g = c.benchmark_group("trace_overhead_leap_k8_n1000");
+    g.sample_size(10);
+    g.bench_function("null_observer", |b| {
+        b.iter(|| {
+            let mut pop = CountPopulation::new(&proto, 1_000);
+            let mut sched = UniformRandomScheduler::from_seed(5);
+            let r = Simulator::new(&proto)
+                .run_leap_observed(
+                    &mut pop,
+                    &mut sched,
+                    &criterion,
+                    budget,
+                    &mut pp_engine::observer::NullObserver,
+                )
+                .expect("bench cell stabilises");
+            black_box(r.interactions)
+        })
+    });
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut pop = CountPopulation::new(&proto, 1_000);
+            let mut sched = UniformRandomScheduler::from_seed(5);
+            let mut rec = TraceRecorder::disabled();
+            let r = Simulator::new(&proto)
+                .run_leap_observed(&mut pop, &mut sched, &criterion, budget, &mut rec)
+                .expect("bench cell stabilises");
+            black_box(r.interactions)
+        })
+    });
+    g.bench_function("trace_recorder", |b| {
+        b.iter(|| {
+            let mut pop = CountPopulation::new(&proto, 1_000);
+            let mut sched = UniformRandomScheduler::from_seed(5);
+            let mut rec = TraceRecorder::for_run(&proto, &pop, 5, TraceKernel::Leap);
+            let r = Simulator::new(&proto)
+                .run_leap_observed(&mut pop, &mut sched, &criterion, budget, &mut rec)
+                .expect("bench cell stabilises");
+            black_box((r.interactions, rec.finish(pop.counts()).len()))
+        })
+    });
+    g.finish();
+}
+
 /// One JSON record per measured kernel run.
 fn measurement_json(m: &KernelMeasurement) -> pp_sweep::json::Value {
     use pp_sweep::json::Value;
@@ -267,7 +321,8 @@ criterion_group!(
     stability_checks,
     compilation,
     kernel_throughput,
-    telemetry_overhead
+    telemetry_overhead,
+    trace_overhead
 );
 
 fn main() {

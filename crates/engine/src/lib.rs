@@ -86,7 +86,7 @@ pub mod trace;
 
 pub use metrics::{engine_metrics, EngineMetrics, TelemetryObserver};
 pub use population::{AgentPopulation, CountPopulation, Population};
-pub use protocol::{CompiledProtocol, GroupId, StateId};
+pub use protocol::{CompiledProtocol, GroupId, RuleId, StateId};
 pub use scheduler::UniformRandomScheduler;
 pub use simulator::{FixedRunSummary, RunError, RunResult, Simulator};
 pub use spec::ProtocolSpec;

@@ -32,9 +32,12 @@ pub trait Observer {
     /// the configuration — unchanged throughout the run.
     ///
     /// The naive kernel never calls this hook (it reports identities one
-    /// by one through [`Observer::on_interaction`]); observers needing
-    /// per-identity granularity (e.g. [`TrajectorySampler`]) must run on
-    /// the naive kernel. The default implementation does nothing.
+    /// by one through [`Observer::on_interaction`]). Because the counts are
+    /// constant across the whole run, any per-step quantity an observer
+    /// derives from the configuration is closed-form inside the run —
+    /// [`TrajectorySampler`] reconstructs its period-boundary samples this
+    /// way, so it works under both kernels. The default implementation
+    /// does nothing.
     #[inline(always)]
     fn on_identity_run(&mut self, _last_step: u64, _skipped: u64, _counts: &[u64]) {}
 }
@@ -180,6 +183,12 @@ impl Observer for ConfigurationRecorder {
 /// material for trajectory plots (e.g. "#g_k over time", the ratchet the
 /// paper's Lemma 4 describes). Sampling by period keeps memory
 /// proportional to `interactions / period` regardless of run length.
+///
+/// Works under both kernels: the leap kernel reports skipped identity
+/// runs through [`Observer::on_identity_run`], and since the counts are
+/// constant across a run, the sampler emits every period boundary that
+/// falls inside it in closed form — yielding the exact sample sequence
+/// the naive kernel would have produced for the same trajectory.
 #[derive(Clone, Debug)]
 pub struct TrajectorySampler {
     period: u64,
@@ -224,6 +233,18 @@ impl Observer for TrajectorySampler {
     ) {
         if step % self.period == 0 {
             self.samples.push((step, counts.to_vec()));
+        }
+    }
+
+    #[inline]
+    fn on_identity_run(&mut self, last_step: u64, skipped: u64, counts: &[u64]) {
+        // The run covers steps (last_step - skipped, last_step], all with
+        // the same configuration; emit each period boundary inside it.
+        let start = last_step - skipped + 1;
+        let mut t = start.div_ceil(self.period) * self.period;
+        while t <= last_step {
+            self.samples.push((t, counts.to_vec()));
+            t += self.period;
         }
     }
 }
@@ -306,6 +327,29 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_period_rejected() {
         TrajectorySampler::every(0);
+    }
+
+    /// Identity runs reported by the leap kernel yield exactly the samples
+    /// the naive kernel would have taken at the same steps.
+    #[test]
+    fn trajectory_sampler_closed_form_identity_runs() {
+        let mut t = TrajectorySampler::every(3);
+        let s = StateId(0);
+        // Effective interaction at step 1, then identities at 2..=8
+        // reported as one leap run, then an effective one at step 9.
+        t.on_interaction(1, s, s, StateId(1), s, &[5, 1]);
+        t.on_identity_run(8, 7, &[5, 1]);
+        t.on_interaction(9, s, s, StateId(1), s, &[4, 2]);
+        let steps: Vec<u64> = t.samples().iter().map(|(st, _)| *st).collect();
+        assert_eq!(steps, vec![3, 6, 9]);
+        // Boundary cases: a run whose start is itself a boundary, and one
+        // containing no boundary at all.
+        let mut t = TrajectorySampler::every(4);
+        t.on_identity_run(4, 1, &[1, 0]); // covers exactly step 4
+        t.on_identity_run(7, 2, &[1, 0]); // covers 6..=7: no boundary
+        t.on_identity_run(16, 9, &[1, 0]); // covers 8..=16: boundaries 8, 12, 16
+        let steps: Vec<u64> = t.samples().iter().map(|(st, _)| *st).collect();
+        assert_eq!(steps, vec![4, 8, 12, 16]);
     }
 
     #[test]

@@ -36,6 +36,32 @@ impl fmt::Debug for StateId {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct GroupId(pub u16);
 
+/// Identity of a *labelled* rule in a compiled protocol.
+///
+/// Rule ids are assigned in label-first-seen order at compile time; every
+/// ordered pair registered under the same label (e.g. both orders of a
+/// symmetric rule) maps back to one id. Unlabelled rules and identity
+/// pairs have no rule id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u16);
+
+impl RuleId {
+    /// Sentinel raw value marking "no rule" in the dense per-pair table.
+    pub(crate) const NONE_RAW: u16 = u16::MAX;
+
+    /// The rule index as a `usize`, for table lookups.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
 impl GroupId {
     /// The group as a 1-based number, matching the paper's notation.
     #[inline(always)]
@@ -113,6 +139,11 @@ pub struct CompiledProtocol {
     /// `group_changing[p * S + q]` is true iff `δ(p, q)` changes `f` of
     /// either participant.
     group_changing: Vec<bool>,
+    /// `rule_table[p * S + q]` is the raw [`RuleId`] of the labelled rule
+    /// covering the pair, or [`RuleId::NONE_RAW`] if none.
+    rule_table: Vec<u16>,
+    /// Rule labels, indexed by [`RuleId`].
+    rule_names: Vec<String>,
     symmetric: bool,
 }
 
@@ -124,6 +155,8 @@ impl CompiledProtocol {
         groups: Vec<GroupId>,
         initial: StateId,
         table: Vec<(StateId, StateId)>,
+        rule_table: Vec<u16>,
+        rule_names: Vec<String>,
     ) -> Result<Self, ProtocolError> {
         let s = state_names.len();
         if s == 0 {
@@ -133,6 +166,7 @@ impl CompiledProtocol {
             return Err(ProtocolError::StateOutOfRange(initial));
         }
         debug_assert_eq!(table.len(), s * s);
+        debug_assert_eq!(rule_table.len(), s * s);
         for (g, id) in groups.iter().zip(0u16..) {
             if g.0 == 0 {
                 return Err(ProtocolError::ZeroGroup(StateId(id)));
@@ -172,6 +206,8 @@ impl CompiledProtocol {
             identity,
             identity_t,
             group_changing,
+            rule_table,
+            rule_names,
             symmetric,
         })
     }
@@ -250,6 +286,38 @@ impl CompiledProtocol {
     #[inline(always)]
     pub fn is_group_changing(&self, p: StateId, q: StateId) -> bool {
         self.group_changing[p.index() * self.num_states() + q.index()]
+    }
+
+    /// Number of distinct *labelled* rules (see [`RuleId`]).
+    #[inline(always)]
+    pub fn num_rules(&self) -> usize {
+        self.rule_names.len()
+    }
+
+    /// The labelled rule covering `δ(p, q)`, if any. Identity pairs and
+    /// pairs registered without a label return `None`.
+    #[inline(always)]
+    pub fn rule_of(&self, p: StateId, q: StateId) -> Option<RuleId> {
+        let raw = self.rule_table[p.index() * self.num_states() + q.index()];
+        (raw != RuleId::NONE_RAW).then_some(RuleId(raw))
+    }
+
+    /// Label of rule `r` (e.g. `"r5"`).
+    pub fn rule_name(&self, r: RuleId) -> &str {
+        &self.rule_names[r.index()]
+    }
+
+    /// Look up a rule id by its label.
+    pub fn rule_by_name(&self, label: &str) -> Option<RuleId> {
+        self.rule_names
+            .iter()
+            .position(|n| n == label)
+            .map(|i| RuleId(i as u16))
+    }
+
+    /// All rule labels, indexed by [`RuleId`].
+    pub fn rule_names(&self) -> &[String] {
+        &self.rule_names
     }
 
     /// Whether every transition is symmetric: `δ(p, p) = (p', p')`.

@@ -197,10 +197,11 @@ impl<'a> Simulator<'a> {
     /// [`Observer::on_interaction`] with its true cumulative interaction
     /// number, and each skipped identity run via
     /// [`Observer::on_identity_run`]; per-identity callbacks do not happen,
-    /// so observers needing them (e.g.
-    /// [`crate::observer::TrajectorySampler`]) must use the naive kernel.
-    /// On the [`RunError::InteractionLimit`] path the trailing identity run
-    /// that overflows the budget is not reported.
+    /// but because counts are constant across a run, observers can derive
+    /// any per-step quantity inside it in closed form (as
+    /// [`crate::observer::TrajectorySampler`] does for its period
+    /// boundaries). On the [`RunError::InteractionLimit`] path the
+    /// trailing identity run that overflows the budget is not reported.
     ///
     /// Stability is consulted through the criterion's incremental
     /// [`crate::stability::StabilityTracker`], fed the same ±1 count deltas

@@ -7,8 +7,14 @@
 //! orders at once with mirrored results, which is how the paper writes its
 //! rules (an interaction between an agent in state `p` and one in state `q`
 //! sends them to `p'` and `q'` respectively, regardless of order).
+//!
+//! Rules may carry a *label* (the `_labelled` variants) identifying which
+//! of the paper's numbered rules an ordered pair belongs to; the compiled
+//! protocol maps every labelled non-identity pair back to its rule id, so
+//! trace classifiers and per-rule telemetry can attribute interactions to
+//! the paper's rules rather than raw state pairs.
 
-use crate::protocol::{CompiledProtocol, GroupId, ProtocolError, StateId};
+use crate::protocol::{CompiledProtocol, GroupId, ProtocolError, RuleId, StateId};
 
 /// Builder for population protocols.
 #[derive(Clone)]
@@ -19,6 +25,8 @@ pub struct ProtocolSpec {
     initial: Option<StateId>,
     /// Sparse rule list on ordered pairs; conflicts detected at compile time.
     rules: Vec<(StateId, StateId, StateId, StateId)>,
+    /// Optional label per entry of `rules`, kept parallel.
+    rule_labels: Vec<Option<String>>,
 }
 
 impl ProtocolSpec {
@@ -30,6 +38,7 @@ impl ProtocolSpec {
             groups: Vec::new(),
             initial: None,
             rules: Vec::new(),
+            rule_labels: Vec::new(),
         }
     }
 
@@ -54,9 +63,26 @@ impl ProtocolSpec {
         self.initial = Some(s);
     }
 
-    /// Register the ordered rule `(p, q) → (p2, q2)`.
+    /// Register the ordered rule `(p, q) → (p2, q2)` without a label.
     pub fn add_rule(&mut self, p: StateId, q: StateId, p2: StateId, q2: StateId) {
         self.rules.push((p, q, p2, q2));
+        self.rule_labels.push(None);
+    }
+
+    /// Register the ordered rule `(p, q) → (p2, q2)` carrying a rule label
+    /// (e.g. `"r5"` for the paper's rule 5). Pairs sharing a label fold
+    /// into one compiled rule id; a later labelled registration for the
+    /// same pair overwrites an earlier label.
+    pub fn add_rule_labelled(
+        &mut self,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        label: impl Into<String>,
+    ) {
+        self.rules.push((p, q, p2, q2));
+        self.rule_labels.push(Some(label.into()));
     }
 
     /// Register `(p, q) → (p2, q2)` *and* its mirror `(q, p) → (q2, p2)`.
@@ -70,6 +96,23 @@ impl ProtocolSpec {
         self.add_rule(p, q, p2, q2);
         if p != q {
             self.add_rule(q, p, q2, p2);
+        }
+    }
+
+    /// Labelled form of [`Self::add_rule_symmetric`]: both orders share the
+    /// same rule label, so the mirror of a rule attributes to the same id.
+    pub fn add_rule_symmetric_labelled(
+        &mut self,
+        p: StateId,
+        q: StateId,
+        p2: StateId,
+        q2: StateId,
+        label: impl Into<String>,
+    ) {
+        let label = label.into();
+        self.add_rule_labelled(p, q, p2, q2, label.clone());
+        if p != q {
+            self.add_rule_labelled(q, p, q2, p2, label);
         }
     }
 
@@ -96,7 +139,9 @@ impl ProtocolSpec {
             }
         }
         let mut written = vec![false; s * s];
-        for &(p, q, p2, q2) in &self.rules {
+        let mut rule_names: Vec<String> = Vec::new();
+        let mut rule_table: Vec<u16> = vec![RuleId::NONE_RAW; s * s];
+        for (&(p, q, p2, q2), label) in self.rules.iter().zip(&self.rule_labels) {
             for x in [p, q, p2, q2] {
                 if x.index() >= s {
                     return Err(ProtocolError::StateOutOfRange(x));
@@ -108,6 +153,16 @@ impl ProtocolSpec {
             }
             table[idx] = (p2, q2);
             written[idx] = true;
+            if let Some(label) = label {
+                let id = match rule_names.iter().position(|n| n == label) {
+                    Some(i) => i as u16,
+                    None => {
+                        rule_names.push(label.clone());
+                        (rule_names.len() - 1) as u16
+                    }
+                };
+                rule_table[idx] = id;
+            }
         }
         CompiledProtocol::from_parts(
             self.name.clone(),
@@ -115,6 +170,8 @@ impl ProtocolSpec {
             self.groups.clone(),
             initial,
             table,
+            rule_table,
+            rule_names,
         )
     }
 }
@@ -176,6 +233,30 @@ mod tests {
         spec.add_rule(a, a, b, b);
         spec.add_rule(a, a, b, b);
         assert!(spec.compile().is_ok());
+    }
+
+    #[test]
+    fn labelled_rules_compile_to_rule_ids() {
+        let mut spec = ProtocolSpec::new("t");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let c = spec.add_state("c", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric_labelled(a, b, c, c, "r1");
+        spec.add_rule_labelled(a, a, b, b, "r2");
+        spec.add_rule(b, b, c, c); // unlabelled
+        let p = spec.compile().unwrap();
+        assert_eq!(p.num_rules(), 2);
+        // Both orders of a symmetric rule share one id.
+        let r_ab = p.rule_of(a, b).unwrap();
+        assert_eq!(p.rule_of(b, a), Some(r_ab));
+        assert_eq!(p.rule_name(r_ab), "r1");
+        assert_eq!(p.rule_name(p.rule_of(a, a).unwrap()), "r2");
+        // Unlabelled rules and identity pairs attribute to no rule.
+        assert_eq!(p.rule_of(b, b), None);
+        assert_eq!(p.rule_of(c, c), None);
+        assert_eq!(p.rule_by_name("r2"), p.rule_of(a, a));
+        assert_eq!(p.rule_by_name("nope"), None);
     }
 
     #[test]

@@ -211,16 +211,16 @@ impl UniformKPartition {
         let flip = |s: StateId| if s == ini { inip } else { ini };
 
         // Rule 1 and 2: same-state free agents flip together.
-        spec.add_rule(ini, ini, inip, inip);
-        spec.add_rule(inip, inip, ini, ini);
+        spec.add_rule_labelled(ini, ini, inip, inip, "r1");
+        spec.add_rule_labelled(inip, inip, ini, ini, "r2");
 
         // Rule 5: the only symmetry-broken creation point.
         if k == 2 {
             // For k = 2 the chain is trivial: settle both agents at once.
             // This is exactly the 4-state bipartition protocol of [25].
-            spec.add_rule_symmetric(ini, inip, self.g(1), self.g(2));
+            spec.add_rule_symmetric_labelled(ini, inip, self.g(1), self.g(2), "r5");
         } else {
-            spec.add_rule_symmetric(ini, inip, self.g(1), self.m(2));
+            spec.add_rule_symmetric_labelled(ini, inip, self.g(1), self.m(2), "r5");
         }
 
         // Rules 3 and 4: d/g agents flip free agents (the mechanism that,
@@ -228,11 +228,11 @@ impl UniformKPartition {
         // `initial'` so rule 5 can fire).
         for x in [ini, inip] {
             for i in 1..=k {
-                spec.add_rule_symmetric(self.g(i), x, self.g(i), flip(x));
+                spec.add_rule_symmetric_labelled(self.g(i), x, self.g(i), flip(x), "r3");
             }
             if k >= 3 {
                 for i in 1..=k - 2 {
-                    spec.add_rule_symmetric(self.d(i), x, self.d(i), flip(x));
+                    spec.add_rule_symmetric_labelled(self.d(i), x, self.d(i), flip(x), "r4");
                 }
             }
         }
@@ -241,24 +241,30 @@ impl UniformKPartition {
             // Rule 6: the chain recruits a free agent into g_i and advances.
             for i in 2..=k.saturating_sub(2) {
                 for x in [ini, inip] {
-                    spec.add_rule_symmetric(x, self.m(i), self.g(i), self.m(i + 1));
+                    spec.add_rule_symmetric_labelled(x, self.m(i), self.g(i), self.m(i + 1), "r6");
                 }
             }
             // Rule 7: the chain completes; the builder settles into g_k.
             for x in [ini, inip] {
-                spec.add_rule_symmetric(x, self.m(k - 1), self.g(k - 1), self.g(k));
+                spec.add_rule_symmetric_labelled(x, self.m(k - 1), self.g(k - 1), self.g(k), "r7");
             }
             // Rule 8: two chains collide and both abort.
             for i in 2..=k - 1 {
                 for j in 2..=k - 1 {
-                    spec.add_rule(self.m(i), self.m(j), self.d(i - 1), self.d(j - 1));
+                    spec.add_rule_labelled(
+                        self.m(i),
+                        self.m(j),
+                        self.d(i - 1),
+                        self.d(j - 1),
+                        "r8",
+                    );
                 }
             }
             // Rules 9 and 10: unwinding refunds one settled agent per level.
             for i in 2..=k.saturating_sub(2) {
-                spec.add_rule_symmetric(self.d(i), self.g(i), self.d(i - 1), ini);
+                spec.add_rule_symmetric_labelled(self.d(i), self.g(i), self.d(i - 1), ini, "r9");
             }
-            spec.add_rule_symmetric(self.d(1), self.g(1), ini, ini);
+            spec.add_rule_symmetric_labelled(self.d(1), self.g(1), ini, ini, "r10");
         }
 
         spec
@@ -399,6 +405,45 @@ mod tests {
             let p = UniformKPartition::new(k).compile();
             assert!(p.is_symmetric(), "k = {k}");
         }
+    }
+
+    /// All ten Algorithm 1 rules carry labels, every non-identity pair
+    /// attributes to one of them, and spot checks land on the right rule.
+    #[test]
+    fn all_ten_rules_are_labelled() {
+        for k in 3..=8 {
+            let kp = UniformKPartition::new(k);
+            let p = kp.compile();
+            let mut names: Vec<&str> = p.rule_names().iter().map(|s| s.as_str()).collect();
+            names.sort_unstable();
+            let mut expect = vec!["r1", "r10", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"];
+            // k = 3 has no m_i with 2 <= i <= k-2, so rule 6 (and the
+            // matching r9 demolition level) never appears.
+            if k == 3 {
+                expect.retain(|n| *n != "r6" && *n != "r9");
+            }
+            assert_eq!(names, expect, "k = {k}");
+            for (q1, q2, _, _) in p.non_identity_rules() {
+                assert!(p.rule_of(q1, q2).is_some(), "unlabelled pair at k = {k}");
+            }
+            let ini = kp.initial();
+            let inip = kp.initial_prime();
+            let rule = |p2, q2| p.rule_name(p.rule_of(p2, q2).unwrap());
+            assert_eq!(rule(ini, ini), "r1");
+            assert_eq!(rule(inip, inip), "r2");
+            assert_eq!(rule(kp.g(1), ini), "r3");
+            assert_eq!(rule(kp.d(1), inip), "r4");
+            assert_eq!(rule(ini, inip), "r5");
+            assert_eq!(rule(inip, ini), "r5");
+            assert_eq!(rule(ini, kp.m(k - 1)), "r7");
+            assert_eq!(rule(kp.m(2), kp.m(k - 1)), "r8");
+            assert_eq!(rule(kp.d(1), kp.g(1)), "r10");
+        }
+        // k = 2 degenerates to the bipartition protocol: r1, r2, r3, r5.
+        let p = UniformKPartition::new(2).compile();
+        let mut names: Vec<&str> = p.rule_names().iter().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["r1", "r2", "r3", "r5"]);
     }
 
     #[test]

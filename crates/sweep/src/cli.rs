@@ -11,7 +11,10 @@
 //!
 //! `run`/`resume` export telemetry as JSONL to `<results>/metrics.jsonl`
 //! after every run (see [`crate::telemetry`]); `--metrics <path>` writes
-//! an additional copy to an explicit location.
+//! an additional copy to an explicit location. `--trace <glob>` records
+//! trial 0 of every cell whose store file stem matches the glob into
+//! `<store>/<stem>.trace` (see [`crate::trace`]) and folds the trace
+//! diagnostics into the same metrics export.
 //!
 //! Environment: `PP_TRIALS`, `PP_SEED`, `PP_RESULTS_DIR`, `PP_FIG6_KMAX`
 //! — all participate in cell identity, so changing them addresses
@@ -30,12 +33,13 @@ use crate::store::ResultStore;
 pub fn main_with_args(args: &[String]) -> i32 {
     let cfg = PlanConfig::from_env();
     let store = ResultStore::default_location();
-    // Split off the one option run/resume accept: `--metrics [path]`.
-    // An explicit path duplicates the export there; the default export
-    // next to the results happens regardless.
-    let (args, metrics_to): (Vec<&String>, Option<Option<String>>) = {
+    // Split off the options run/resume accept: `--metrics [path]` and
+    // `--trace <glob>`. An explicit metrics path duplicates the export
+    // there; the default export next to the results happens regardless.
+    let (args, metrics_to, trace_glob): (Vec<&String>, Option<Option<String>>, Option<String>) = {
         let mut rest = Vec::new();
         let mut metrics = None;
+        let mut trace = None;
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if a == "--metrics" {
@@ -47,11 +51,24 @@ pub fn main_with_args(args: &[String]) -> i32 {
                     it.next();
                 }
                 metrics = Some(path);
+            } else if a == "--trace" {
+                match it.peek().filter(|v| !v.starts_with("--")) {
+                    Some(glob) => {
+                        trace = Some((*glob).clone());
+                        it.next();
+                    }
+                    None => {
+                        eprintln!(
+                            "pp-sweep: --trace requires a cell-stem glob (try `--trace '*'`)"
+                        );
+                        return 2;
+                    }
+                }
             } else {
                 rest.push(a);
             }
         }
-        (rest, metrics)
+        (rest, metrics, trace)
     };
     match args.as_slice() {
         [] => {
@@ -62,9 +79,13 @@ pub fn main_with_args(args: &[String]) -> i32 {
             list(cfg);
             0
         }
-        [cmd, name] if *cmd == "run" || *cmd == "resume" => {
-            run(name, cfg, &store, metrics_to.flatten())
-        }
+        [cmd, name] if *cmd == "run" || *cmd == "resume" => run(
+            name,
+            cfg,
+            &store,
+            metrics_to.flatten(),
+            trace_glob.as_deref(),
+        ),
         [cmd] if *cmd == "status" => {
             for p in plan::plans(cfg) {
                 status(&p, &store);
@@ -90,8 +111,8 @@ pub fn main_with_args(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: pp-sweep <list | run <plan|all> [--metrics [path]] | \
-resume <plan|all> [--metrics [path]] | status [plan] | metrics [path] | gc>";
+const USAGE: &str = "usage: pp-sweep <list | run <plan|all> [--metrics [path]] [--trace <glob>] | \
+resume <plan|all> [--metrics [path]] [--trace <glob>] | status [plan] | metrics [path] | gc>";
 
 /// Where `run` exports metrics by default (and where `status` and the
 /// bare `metrics` command look): next to the results they describe.
@@ -125,7 +146,13 @@ fn banner(p: &Plan, cfg: PlanConfig) {
     println!();
 }
 
-fn run(name: &str, cfg: PlanConfig, store: &ResultStore, metrics_to: Option<String>) -> i32 {
+fn run(
+    name: &str,
+    cfg: PlanConfig,
+    store: &ResultStore,
+    metrics_to: Option<String>,
+    trace_glob: Option<&str>,
+) -> i32 {
     let selected: Vec<Plan> = if name == "all" {
         plan::plans(cfg)
     } else {
@@ -165,6 +192,32 @@ fn run(name: &str, cfg: PlanConfig, store: &ResultStore, metrics_to: Option<Stri
             }
         }
         println!();
+    }
+
+    // Trace capture happens after the run so it works on cache hits too
+    // (trial 0's seed is a pure function of the spec), and before the
+    // metrics export so the trace series land in the same snapshot.
+    if let Some(glob) = trace_glob {
+        match crate::trace::trace_matching(&cells, store, glob) {
+            Ok(traced) if traced.is_empty() => {
+                eprintln!("  traces: no cell stem matches `{glob}`");
+            }
+            Ok(traced) => {
+                let fresh = traced.iter().filter(|t| t.fresh).count();
+                let bytes: u64 = traced.iter().map(|t| t.bytes).sum();
+                eprintln!(
+                    "  traces: {} cells ({} recorded, {} reused), {} bytes",
+                    traced.len(),
+                    fresh,
+                    traced.len() - fresh,
+                    bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("pp-sweep: trace capture failed: {e}");
+                return 1;
+            }
+        }
     }
 
     // Every run leaves a machine-readable performance record next to its
@@ -220,6 +273,20 @@ fn status_telemetry(store: &ResultStore) {
         v("sweep.trials.recovered"),
         path.display()
     );
+    // Second line only when the last run captured traces.
+    let effective = v("trace.records.effective");
+    if effective > 0 {
+        println!(
+            "traces (last run): {} effective records ({} bytes); chains: {} born, \
+{} completed, {} aborted, {} demolished",
+            effective,
+            v("trace.bytes"),
+            v("trace.chain.births"),
+            v("trace.chain.completions"),
+            v("trace.chain.aborts"),
+            v("trace.chain.demolitions"),
+        );
+    }
 }
 
 fn status(p: &Plan, store: &ResultStore) {
@@ -227,7 +294,11 @@ fn status(p: &Plan, store: &ResultStore) {
     let mut partial = 0usize;
     let mut partial_trials = 0u64;
     let mut pending = 0usize;
+    let mut traced = 0usize;
     for spec in &p.cells {
+        if crate::trace::trace_path(store, spec).exists() {
+            traced += 1;
+        }
         if store.load(spec).is_some() {
             complete += 1;
         } else {
@@ -247,15 +318,21 @@ fn status(p: &Plan, store: &ResultStore) {
     } else {
         "not started"
     };
+    let traces = if traced > 0 {
+        format!(", {traced} traced")
+    } else {
+        String::new()
+    };
     println!(
-        "{:<18} {:>11}: {}/{} cells complete, {} partial ({} journaled trials), {} pending",
+        "{:<18} {:>11}: {}/{} cells complete, {} partial ({} journaled trials), {} pending{}",
         p.name,
         state,
         complete,
         p.cells.len(),
         partial,
         partial_trials,
-        pending
+        pending,
+        traces
     );
 }
 
@@ -271,6 +348,7 @@ fn gc(cfg: PlanConfig, store: &ResultStore) -> i32 {
         for c in &p.cells {
             live.insert(format!("{}.json", c.file_stem()));
             live.insert(format!("{}.jsonl", c.file_stem()));
+            live.insert(format!("{}.trace", c.file_stem()));
         }
     }
     let files = match store.existing_files() {

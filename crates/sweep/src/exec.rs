@@ -117,9 +117,10 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
             }
         }
         CellMode::Trajectory { sample_every } => {
-            // TrajectorySampler needs every interaction reported
-            // (identities included), which only the naive loop does;
-            // `KernelChoice::auto_for` pins trajectory cells to Naive.
+            // TrajectorySampler now reconstructs identity runs in closed
+            // form and works on either kernel, but `KernelChoice::auto_for`
+            // still pins trajectory cells to Naive so cached trajectory
+            // results (keyed on the kernel) keep reproducing bit for bit.
             debug_assert_eq!(kernel, pp_analysis::runner::Kernel::Naive);
             let mut pop = CountPopulation::new(&cell.proto, spec.n);
             let mut sched = UniformRandomScheduler::from_seed(seed);

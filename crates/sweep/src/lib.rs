@@ -38,3 +38,4 @@ pub mod runner;
 pub mod spec;
 pub mod store;
 pub mod telemetry;
+pub mod trace;

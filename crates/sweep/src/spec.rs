@@ -137,9 +137,12 @@ pub enum KernelChoice {
 
 impl KernelChoice {
     /// The kernel a cell of the given mode should run on, honouring the
-    /// `PP_KERNEL` knob. Trajectory capture needs per-identity observer
-    /// callbacks, which only the naive kernel delivers, so it pins naive
-    /// regardless of the knob; every other mode resolves `auto` to leap.
+    /// `PP_KERNEL` knob. Trajectory cells pin naive regardless of the
+    /// knob — not a correctness requirement any more (the sampler
+    /// reconstructs identity runs in closed form on the leap kernel),
+    /// but the kernel is part of the content address, so the pin keeps
+    /// existing cached trajectories addressable; every other mode
+    /// resolves `auto` to leap.
     pub fn auto_for(mode: CellMode) -> KernelChoice {
         if matches!(mode, CellMode::Trajectory { .. }) {
             return KernelChoice::Naive;

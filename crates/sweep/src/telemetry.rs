@@ -160,6 +160,32 @@ pub fn validate_snapshot(snap: &Snapshot) -> Result<(), String> {
     if !snap.metrics.iter().any(|m| m.name.starts_with("sweep.")) {
         return Err("no sweep.* series in export".into());
     }
+    // Trace diagnostics, when present, must be internally consistent:
+    // effective records imply per-rule attribution, and rule 8 emits
+    // exactly two demolishers per abort, so finished demolitions can
+    // never exceed twice the aborts (censored runs leave some pending).
+    let traced = snap.value("trace.records.effective").unwrap_or(0);
+    let firings: u64 = snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "trace.rule.firings")
+        .filter_map(|m| match m.data {
+            pp_telemetry::MetricData::Counter(v) => Some(v),
+            _ => None,
+        })
+        .sum();
+    if firings > traced {
+        return Err(format!(
+            "{firings} rule firings attributed but only {traced} effective records traced"
+        ));
+    }
+    let aborts = snap.value("trace.chain.aborts").unwrap_or(0);
+    let demolitions = snap.value("trace.chain.demolitions").unwrap_or(0);
+    if demolitions > 2 * aborts {
+        return Err(format!(
+            "{demolitions} demolitions finished from only {aborts} aborts (rule 8 spawns two demolishers each)"
+        ));
+    }
     Ok(())
 }
 
@@ -171,6 +197,7 @@ pub fn validate_snapshot(snap: &Snapshot) -> Result<(), String> {
 pub fn write_metrics(path: &Path) -> std::io::Result<()> {
     let _ = pp_engine::metrics::engine_metrics();
     let _ = sweep_metrics();
+    pp_trace::export::register_series(pp_telemetry::global());
     Snapshot::capture_global().write_jsonl(path)
 }
 
@@ -255,5 +282,50 @@ mod tests {
 {\"kind\":\"counter\",\"name\":\"sweep.cells.completed\",\"value\":1}\n";
         let snap = Snapshot::from_jsonl(text).unwrap();
         assert!(validate_snapshot(&snap).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_trace_consistency() {
+        let base = "\
+{\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":5}\n\
+{\"kind\":\"counter\",\"name\":\"engine.interactions\",\"value\":100}\n\
+{\"kind\":\"counter\",\"name\":\"engine.effective_interactions\",\"value\":60}\n\
+{\"kind\":\"counter\",\"name\":\"sweep.cells.completed\",\"value\":1}\n";
+        // More rule firings attributed than effective records traced.
+        let text = format!(
+            "{base}\
+{{\"kind\":\"counter\",\"name\":\"trace.records.effective\",\"value\":10}}\n\
+{{\"kind\":\"counter\",\"name\":\"trace.rule.firings\",\"labels\":{{\"rule\":\"r1\"}},\"value\":11}}\n"
+        );
+        let snap = Snapshot::from_jsonl(&text).unwrap();
+        assert!(
+            validate_snapshot(&snap).is_err(),
+            "over-attribution rejected"
+        );
+        // Rule 8 spawns two demolishers per abort; three finished from one
+        // abort is impossible.
+        let text = format!(
+            "{base}\
+{{\"kind\":\"counter\",\"name\":\"trace.chain.aborts\",\"value\":1}}\n\
+{{\"kind\":\"counter\",\"name\":\"trace.chain.demolitions\",\"value\":3}}\n"
+        );
+        let snap = Snapshot::from_jsonl(&text).unwrap();
+        assert!(
+            validate_snapshot(&snap).is_err(),
+            "impossible demolitions rejected"
+        );
+        // A consistent trace export passes.
+        let text = format!(
+            "{base}\
+{{\"kind\":\"counter\",\"name\":\"trace.records.effective\",\"value\":10}}\n\
+{{\"kind\":\"counter\",\"name\":\"trace.rule.firings\",\"labels\":{{\"rule\":\"r1\"}},\"value\":6}}\n\
+{{\"kind\":\"counter\",\"name\":\"trace.chain.aborts\",\"value\":2}}\n\
+{{\"kind\":\"counter\",\"name\":\"trace.chain.demolitions\",\"value\":4}}\n"
+        );
+        let snap = Snapshot::from_jsonl(&text).unwrap();
+        assert!(
+            validate_snapshot(&snap).is_ok(),
+            "consistent trace accepted"
+        );
     }
 }

@@ -1,0 +1,133 @@
+//! Tracing the paper's worked examples (Figures 1 and 2) through the
+//! classifier yields exactly the lifecycle the prose describes: Figure 1
+//! is one chain born, advanced four times, and completed; Figure 2 is
+//! two colliding chains aborting into demolishers that walk the settled
+//! groups back to `initial`.
+
+use pp_engine::population::Population;
+use pp_engine::trace::ScriptedExecution;
+use pp_protocols::kpartition::UniformKPartition;
+use pp_trace::{
+    check_lemma1, classify, Event, Lemma1Report, Trace, TraceHeader, TraceKernel, TraceRecorder,
+};
+
+/// Record a scripted execution's transition log as a trace: seed 0 is a
+/// placeholder (scripted runs have no scheduler), steps number the
+/// interactions from 1 exactly as the live kernels do.
+fn trace_scripted(kp: &UniformKPartition, exec: &ScriptedExecution, initial: Vec<u64>) -> Trace {
+    let proto = kp.compile();
+    let header = TraceHeader {
+        protocol: proto.name().to_string(),
+        state_names: proto
+            .states()
+            .map(|s| proto.state_name(s).to_string())
+            .collect(),
+        n: initial.iter().sum(),
+        seed: 0,
+        kernel: TraceKernel::Naive,
+        initial_counts: initial,
+    };
+    let mut rec = TraceRecorder::new(&header);
+    use pp_engine::observer::Observer;
+    for (idx, t) in exec.log().iter().enumerate() {
+        rec.on_interaction(idx as u64 + 1, t.p, t.q, t.p2, t.q2, &[]);
+    }
+    Trace::decode(&rec.finish(exec.population().counts())).unwrap()
+}
+
+#[test]
+fn figure1_trace_is_one_chain_born_advanced_completed() {
+    let kp = UniformKPartition::new(6);
+    let proto = kp.compile();
+    let mut exec = ScriptedExecution::new(&proto, 6);
+    let initial = exec.population().counts().to_vec();
+    // The exact interaction sequence of Figure 1 (see
+    // tests/paper_examples.rs for the per-configuration assertions).
+    exec.interact_all(&[(0, 1), (2, 3), (4, 5)]); // (a)->(b): rule 1 ×3
+    exec.interact_all(&[(0, 5), (1, 2), (3, 4)]); // (b)->(c): rule 2 ×3
+    exec.interact(4, 5); // (c)->(d): rule 1
+    exec.interact(0, 5); // (d)->(e): rule 5 births the chain
+    exec.interact_all(&[(5, 1), (5, 2), (5, 3)]); // rule 6 recruits
+    exec.interact(5, 4); // rule 7 completes
+
+    let trace = trace_scripted(&kp, &exec, initial);
+    let diag = classify(&trace).unwrap();
+    assert_eq!(diag.unattributed, 0);
+    assert_eq!(
+        diag.rule_firings
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, &c)| (r.as_str(), c))
+            .collect::<Vec<_>>(),
+        vec![("r1", 4), ("r2", 3), ("r5", 1), ("r6", 3), ("r7", 1)]
+    );
+    // The paper's happy path: birth, three recruits, completion — in order.
+    assert_eq!(
+        diag.events,
+        vec![
+            Event::ChainBirth { step: 8 },
+            Event::BuilderAdvance { step: 9, level: 3 },
+            Event::BuilderAdvance { step: 10, level: 4 },
+            Event::BuilderAdvance { step: 11, level: 5 },
+            Event::ChainCompletion { step: 12 },
+        ]
+    );
+    assert!(matches!(
+        check_lemma1(&trace).unwrap(),
+        Lemma1Report::Holds { checked: 13 }
+    ));
+}
+
+#[test]
+fn figure2_trace_is_abort_then_demolition_walkback() {
+    let kp = UniformKPartition::new(6);
+    let proto = kp.compile();
+    // Fig 2(a): two concurrently started chains (Lemma 1 forces #g1 = 2).
+    let mut exec = ScriptedExecution::from_states(
+        &proto,
+        vec![
+            kp.g(1),
+            kp.g(1),
+            kp.initial(),
+            kp.initial(),
+            kp.m(2),
+            kp.m(2),
+        ],
+    );
+    let initial = exec.population().counts().to_vec();
+    exec.interact(2, 4); // rule 6: a5's chain recruits a3
+    exec.interact(3, 4); // rule 6: … and a4
+    exec.interact(4, 5); // (c)->(d): rule 8, m4 meets m2
+    exec.interact(0, 5); // rule 10: d1 frees a g1
+    exec.interact(3, 4); // rule 9: d3 walks to d2
+    exec.interact(2, 4); // rule 9: d2 walks to d1
+    exec.interact(1, 4); // rule 10: the second demolisher finishes
+
+    let trace = trace_scripted(&kp, &exec, initial);
+    let diag = classify(&trace).unwrap();
+    assert_eq!(diag.unattributed, 0);
+    assert_eq!(
+        diag.events,
+        vec![
+            Event::BuilderAdvance { step: 1, level: 3 },
+            Event::BuilderAdvance { step: 2, level: 4 },
+            Event::ChainAbort {
+                step: 3,
+                i: 4,
+                j: 2
+            },
+            Event::DemolitionComplete { step: 4 },
+            Event::DemolitionStep { step: 5, level: 3 },
+            Event::DemolitionStep { step: 6, level: 2 },
+            Event::DemolitionComplete { step: 7 },
+        ]
+    );
+    assert_eq!((diag.births, diag.completions), (0, 0));
+    assert_eq!(diag.aborts, 1);
+    assert_eq!(diag.demolitions, 2, "both chains demolished");
+    // The abort-and-unwind never leaves the Lemma 1 surface.
+    assert!(matches!(
+        check_lemma1(&trace).unwrap(),
+        Lemma1Report::Holds { checked: 8 }
+    ));
+}

@@ -18,6 +18,8 @@
 //!   ([`pp_analysis`]).
 //! * [`telemetry`] — zero-dependency metrics registry and JSONL export
 //!   ([`pp_telemetry`]).
+//! * [`trace`] — recordable, replayable execution traces with
+//!   protocol-semantic convergence diagnostics ([`pp_trace`]).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use pp_analysis as analysis;
 pub use pp_engine as engine;
 pub use pp_protocols as protocols;
 pub use pp_telemetry as telemetry;
+pub use pp_trace as trace;
 pub use pp_verify as verify;
 
 /// The most common imports, bundled.
@@ -73,7 +76,7 @@ mod facade_tests {
         assert!(result.interactions > 0);
     }
 
-    /// All five crates are reachable through the facade.
+    /// All six crates are reachable through the facade.
     #[test]
     fn reexports_resolve() {
         let _ = crate::engine::seeds::derive(1, 2);
@@ -83,5 +86,6 @@ mod facade_tests {
         let g = crate::verify::ConfigGraph::explore(&proto, 3, 100).unwrap();
         assert_eq!(g.num_configs(), 1);
         assert_eq!(crate::telemetry::bucket_of(0), 0);
+        assert_eq!(crate::trace::TraceKernel::Leap.name(), "leap");
     }
 }
