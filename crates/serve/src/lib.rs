@@ -1,0 +1,36 @@
+//! `pp-serve`: the experiment stack as a long-running service.
+//!
+//! A sweep binary pays its cache lookups once per invocation; a
+//! research group iterating on figures pays them over and over, often
+//! for identical cells. This crate keeps one process resident with a
+//! shared [`pp_sweep::store::ResultStore`] (any backend: fs, mem, or
+//! the compacting log) and serves cell results over a wire protocol
+//! simple enough to drive with `curl`:
+//!
+//! * **Transport** ([`http`]) — hand-rolled HTTP/1.1 over
+//!   `std::net::TcpListener`; the build environment has no async
+//!   runtime or HTTP crate, and doesn't need one for this shape.
+//! * **Protocol** ([`proto`]) — JSONL cell specs in (the
+//!   `CellSpec::from_json` wire schema), streamed JSONL events out:
+//!   per-trial progress while a cell simulates, then a `result` line
+//!   tagged with where the answer came from.
+//! * **Coalescing** ([`coalesce`]) — identical concurrent requests
+//!   execute once; late arrivals subscribe to the in-flight execution
+//!   and receive the same bit-identical records.
+//! * **Admission** ([`server`]) — a bounded queue in front of a fixed
+//!   worker pool; overload answers `429` instead of queueing without
+//!   bound. Graceful shutdown drains workers and flushes the store.
+//! * **Telemetry** ([`telemetry`]) — `serve.*` series in the same
+//!   global registry as `engine.*`/`sweep.*`, so one metrics export
+//!   describes a whole serving session.
+//! * **Client** ([`client`]) — the blocking client the `pp-serve-load`
+//!   generator and the CI smoke test drive the server with.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod proto;
+pub mod server;
+pub mod telemetry;

@@ -1,0 +1,205 @@
+//! Wire protocol: JSONL in, JSONL out.
+//!
+//! A `POST /cells` body is one [`CellSpec`] wire object per line (see
+//! `CellSpec::from_json` for the schema). The response is a stream of
+//! event objects, one per line, each tagged with `"event"`:
+//!
+//! | event      | when | payload |
+//! |------------|------|---------|
+//! | `accepted` | after parsing | `cells` admitted, `deduped` dropped as within-request duplicates |
+//! | `trial`    | a trial of a simulated cell finished | `cell` stem, `done`/`of` progress |
+//! | `result`   | a cell completed | `cell` stem, `source` (`cache`/`simulated`/`coalesced`), integer stats, optionally full `records` |
+//! | `error`    | a cell failed | `cell` stem (when known) and `message` |
+//! | `done`     | all cells resolved | totals per source |
+//!
+//! Everything is integers and strings — the workspace's canonical
+//! no-float JSON (`pp_telemetry::json`) — so events re-encode
+//! byte-stably and the load generator can parse them with the same
+//! code the store uses.
+
+use pp_sweep::json::Value;
+use pp_sweep::spec::CellSpec;
+use pp_sweep::store::CellResult;
+
+/// Where a completed cell came from, as reported on `result` events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Served straight from the store, no execution.
+    Cache,
+    /// This request ran the simulation.
+    Simulated,
+    /// Another in-flight request ran it; this one waited for the result.
+    Coalesced,
+}
+
+impl Source {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Source::Cache => "cache",
+            Source::Simulated => "simulated",
+            Source::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Parse a JSONL request body into cell specs. Blank lines are
+/// skipped; any malformed line fails the whole request (the client is
+/// about to trust these results, so partial admission would be a
+/// silent lie).
+pub fn parse_specs(body: &str) -> Result<Vec<CellSpec>, String> {
+    let mut specs = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        specs.push(CellSpec::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    if specs.is_empty() {
+        return Err("no cell specs in request body".into());
+    }
+    Ok(specs)
+}
+
+/// `accepted` event.
+pub fn accepted(cells: usize, deduped: usize) -> Value {
+    Value::obj([
+        ("event", Value::Str("accepted".into())),
+        ("cells", Value::U64(cells as u64)),
+        ("deduped", Value::U64(deduped as u64)),
+    ])
+}
+
+/// `trial` progress event.
+pub fn trial(stem: &str, done: u64, of: u64) -> Value {
+    Value::obj([
+        ("event", Value::Str("trial".into())),
+        ("cell", Value::Str(stem.into())),
+        ("done", Value::U64(done)),
+        ("of", Value::U64(of)),
+    ])
+}
+
+/// `result` event. Stats are integers derived from the records (the
+/// wire format carries no floats): censored trials have no interaction
+/// count and are excluded from min/mean/max.
+pub fn result(spec: &CellSpec, source: Source, res: &CellResult, include_records: bool) -> Value {
+    let interactions = res.interactions();
+    let mean = if interactions.is_empty() {
+        0
+    } else {
+        interactions.iter().sum::<u64>() / interactions.len() as u64
+    };
+    let mut pairs = vec![
+        ("event", Value::Str("result".into())),
+        ("cell", Value::Str(spec.file_stem())),
+        ("key", Value::Str(spec.canonical_key())),
+        ("source", Value::Str(source.as_str().into())),
+        ("trials", Value::U64(res.records.len() as u64)),
+        ("censored", Value::U64(res.censored() as u64)),
+        (
+            "min_interactions",
+            Value::opt_u64(interactions.iter().min().copied()),
+        ),
+        ("mean_interactions", Value::U64(mean)),
+        (
+            "max_interactions",
+            Value::opt_u64(interactions.iter().max().copied()),
+        ),
+    ];
+    if include_records {
+        pairs.push((
+            "records",
+            Value::Arr(res.records.iter().map(|r| r.to_json()).collect()),
+        ));
+    }
+    Value::obj(pairs)
+}
+
+/// `error` event for one cell (or the whole request when `cell` is
+/// unknown).
+pub fn error(cell: Option<&str>, message: &str) -> Value {
+    let mut pairs = vec![
+        ("event", Value::Str("error".into())),
+        ("message", Value::Str(message.into())),
+    ];
+    if let Some(stem) = cell {
+        pairs.push(("cell", Value::Str(stem.into())));
+    }
+    Value::obj(pairs)
+}
+
+/// `done` event closing a `/cells` stream.
+pub fn done(cache: u64, simulated: u64, coalesced: u64, errors: u64) -> Value {
+    Value::obj([
+        ("event", Value::Str("done".into())),
+        ("cache", Value::U64(cache)),
+        ("simulated", Value::U64(simulated)),
+        ("coalesced", Value::U64(coalesced)),
+        ("errors", Value::U64(errors)),
+        ("total", Value::U64(cache + simulated + coalesced + errors)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_line(seed: u64) -> String {
+        format!(
+            "{{\"protocol\":\"ukp\",\"k\":3,\"n\":16,\"trials\":2,\"seed\":{seed},\"budget\":100000}}"
+        )
+    }
+
+    #[test]
+    fn parse_specs_reads_jsonl_and_skips_blanks() {
+        let body = format!("{}\n\n{}\n", spec_line(1), spec_line(2));
+        let specs = parse_specs(&body).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+    }
+
+    #[test]
+    fn parse_specs_rejects_bad_lines_with_line_numbers() {
+        let body = format!("{}\nnot json\n", spec_line(1));
+        let err = parse_specs(&body).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(parse_specs("").is_err());
+        assert!(parse_specs("\n\n").is_err());
+    }
+
+    #[test]
+    fn events_encode_with_stable_keys() {
+        let e = accepted(3, 1).encode();
+        assert_eq!(e, "{\"cells\":3,\"deduped\":1,\"event\":\"accepted\"}");
+        let t = trial("ukp-k3-n16-abc", 1, 4).encode();
+        assert!(t.contains("\"event\":\"trial\""));
+        assert!(t.contains("\"done\":1"));
+        let d = done(1, 2, 3, 0).encode();
+        assert!(d.contains("\"total\":6"));
+        let err = error(Some("stem"), "boom").encode();
+        assert!(err.contains("\"cell\":\"stem\""));
+    }
+
+    #[test]
+    fn result_event_reports_integer_stats() {
+        let spec = parse_specs(&spec_line(7)).unwrap().remove(0);
+        let res = pp_sweep::exec::run_cell(
+            &spec,
+            &pp_sweep::store::ResultStore::in_memory(),
+            &pp_sweep::observer::NullObserver,
+            &pp_sweep::exec::ExecOptions::default(),
+        )
+        .unwrap()
+        .expect_complete();
+        let e = result(&spec, Source::Simulated, &res, false);
+        assert_eq!(e.get("source").unwrap().as_str(), Some("simulated"));
+        assert_eq!(e.get("trials").unwrap().as_u64(), Some(2));
+        assert!(e.get("records").is_none());
+        let with = result(&spec, Source::Cache, &res, true);
+        assert_eq!(with.get("records").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -23,7 +23,6 @@
 use std::collections::HashSet;
 
 use crate::exec::ExecOptions;
-use crate::journal;
 use crate::observer::ConsoleProgress;
 use crate::plan::{self, Plan, PlanConfig};
 use crate::runner;
@@ -32,7 +31,15 @@ use crate::store::ResultStore;
 /// Entry point; returns the process exit code.
 pub fn main_with_args(args: &[String]) -> i32 {
     let cfg = PlanConfig::from_env();
-    let store = ResultStore::default_location();
+    // `PP_STORE_BACKEND` selects where cells live (fs — the default —,
+    // mem, or log); see crate::backend.
+    let store = match ResultStore::from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pp-sweep: cannot open store: {e}");
+            return 1;
+        }
+    };
     // Split off the options run/resume accept: `--metrics [path]` and
     // `--trace <glob>`. An explicit metrics path duplicates the export
     // there; the default export next to the results happens regardless.
@@ -102,8 +109,8 @@ pub fn main_with_args(args: &[String]) -> i32 {
             None => unknown_plan(name, cfg),
         },
         [cmd] if *cmd == "gc" => gc(cfg, &store),
-        [cmd] if *cmd == "metrics" => metrics_cmd(&default_metrics_path(&store)),
-        [cmd, path] if *cmd == "metrics" => metrics_cmd(std::path::Path::new(path)),
+        [cmd] if *cmd == "metrics" => metrics_cmd(&store, &default_metrics_path(&store)),
+        [cmd, path] if *cmd == "metrics" => metrics_cmd(&store, std::path::Path::new(path)),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -117,7 +124,23 @@ resume <plan|all> [--metrics [path]] [--trace <glob>] | status [plan] | metrics 
 /// Where `run` exports metrics by default (and where `status` and the
 /// bare `metrics` command look): next to the results they describe.
 fn default_metrics_path(store: &ResultStore) -> std::path::PathBuf {
-    store.dir().join("metrics.jsonl")
+    match store.fs_dir() {
+        Some(dir) => dir.join("metrics.jsonl"),
+        // mem/log backends have no store directory; export next to the
+        // rest of the results.
+        None => pp_analysis::config::results_dir().join("metrics.jsonl"),
+    }
+}
+
+/// One line describing the active backend and its stats, e.g.
+/// `store backend: fs at results/store — 42 cells, 0 journals, …`.
+fn backend_line(store: &ResultStore) -> String {
+    format!(
+        "store backend: {} at {} — {}",
+        store.kind(),
+        store.location(),
+        store.stats().summary()
+    )
 }
 
 fn list(cfg: PlanConfig) {
@@ -175,11 +198,12 @@ fn run(
     };
     progress.finish();
     eprintln!(
-        "  {} cells complete ({} from cache, {} executed); store: {}",
+        "  {} cells complete ({} from cache, {} executed); store: {} ({})",
         stats.cells,
         stats.cache_hits,
         stats.simulated,
-        store.dir().display()
+        store.location(),
+        store.kind()
     );
 
     for p in &selected {
@@ -236,7 +260,8 @@ fn run(
 
 /// `pp-sweep metrics [path]`: parse an exported metrics file, check the
 /// core engine counters are present, and print the summary table.
-fn metrics_cmd(path: &std::path::Path) -> i32 {
+fn metrics_cmd(store: &ResultStore, path: &std::path::Path) -> i32 {
+    println!("{}", backend_line(store));
     let snap = match pp_telemetry::Snapshot::read_jsonl(path) {
         Ok(s) => s,
         Err(e) => {
@@ -256,6 +281,7 @@ fn metrics_cmd(path: &std::path::Path) -> i32 {
 /// One compact line of engine/sweep totals from the default metrics
 /// export, if a run has produced one.
 fn status_telemetry(store: &ResultStore) {
+    println!("{}", backend_line(store));
     let path = default_metrics_path(store);
     let Ok(snap) = pp_telemetry::Snapshot::read_jsonl(&path) else {
         return; // no export yet — say nothing rather than alarm
@@ -302,7 +328,7 @@ fn status(p: &Plan, store: &ResultStore) {
         if store.load(spec).is_some() {
             complete += 1;
         } else {
-            let st = journal::load(&store.journal_path(spec));
+            let st = store.journal_state(spec);
             if st.records.is_empty() {
                 pending += 1;
             } else {
@@ -338,49 +364,36 @@ fn status(p: &Plan, store: &ResultStore) {
 
 fn gc(cfg: PlanConfig, store: &ResultStore) -> i32 {
     // Everything a *current* plan (under the current env knobs) can
-    // address is live; anything else — stale KEY_VERSION files, cells
+    // address is live; anything else — stale KEY_VERSION entries, cells
     // from other PP_TRIALS/PP_SEED settings, leftover .tmp files — is
     // garbage. That is the point: gc reclaims results the current
-    // configuration can no longer reach.
+    // configuration can no longer reach. What reclaiming *means* is the
+    // backend's business: the file store deletes dead files, the log
+    // store drops dead index entries and compacts, the memory store
+    // forgets.
     let mut live: HashSet<String> = HashSet::new();
-    live.insert("metrics.jsonl".to_string()); // the default telemetry export
     for p in plan::plans(cfg) {
         for c in &p.cells {
-            live.insert(format!("{}.json", c.file_stem()));
-            live.insert(format!("{}.jsonl", c.file_stem()));
-            live.insert(format!("{}.trace", c.file_stem()));
+            live.insert(c.file_stem());
         }
     }
-    let files = match store.existing_files() {
-        Ok(f) => f,
+    let outcome = match store.gc(&live) {
+        Ok(o) => o,
         Err(e) => {
-            eprintln!("pp-sweep: cannot list store: {e}");
+            eprintln!("pp-sweep: gc failed: {e}");
             return 1;
         }
     };
-    let mut removed = 0usize;
-    let mut kept = 0usize;
-    for f in files {
-        let name = f
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        if live.contains(&name) {
-            kept += 1;
-        } else {
-            match std::fs::remove_file(&f) {
-                Ok(()) => {
-                    println!("removed {}", f.display());
-                    removed += 1;
-                }
-                Err(e) => eprintln!("pp-sweep: cannot remove {}: {e}", f.display()),
-            }
-        }
+    for item in &outcome.removed {
+        println!("removed {item}");
     }
     println!(
-        "gc: removed {removed}, kept {kept} (store: {})",
-        store.dir().display()
+        "gc: removed {}, kept {} (store: {})",
+        outcome.removed.len(),
+        outcome.kept,
+        store.location()
     );
+    println!("{}", backend_line(store));
     0
 }
 

@@ -15,7 +15,6 @@ use pp_engine::scheduler::UniformRandomScheduler;
 use pp_engine::seeds;
 use pp_engine::simulator::{RunError, Simulator};
 
-use crate::journal::{self, JournalWriter};
 use crate::observer::SweepObserver;
 use crate::spec::{CellMode, CellSpec, MaterializedCell};
 use crate::store::{CellResult, ResultStore, TrialRecord};
@@ -185,8 +184,7 @@ pub fn run_cell(
         return Ok(CellOutcome::Complete(cached));
     }
 
-    let journal_path = store.journal_path(spec);
-    let journal_state = journal::load(&journal_path);
+    let journal_state = store.journal_state(spec);
     sweep_metrics()
         .journal_discarded_lines
         .add(journal_state.discarded_lines as u64);
@@ -206,7 +204,7 @@ pub fn run_cell(
 
     if !to_run.is_empty() {
         let cell = spec.materialize();
-        let writer = JournalWriter::open(&journal_path)?;
+        let writer = store.journal_sink(spec)?;
         let io_err = std::sync::Mutex::new(None::<std::io::Error>);
         let fresh: Vec<TrialRecord> = {
             use rayon::prelude::*;
@@ -266,10 +264,11 @@ mod tests {
     use crate::spec::{CriterionKind, ProtocolId};
     use std::sync::atomic::Ordering;
 
-    fn temp_store(tag: &str) -> ResultStore {
-        let dir = std::env::temp_dir().join(format!("pp_sweep_exec_{tag}_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        ResultStore::at(dir)
+    // Execution semantics are backend-independent; the unit tests run on
+    // the in-memory backend (no tempdir churn), while the conformance
+    // suite in tests/backend_conformance.rs covers fs and log.
+    fn temp_store(_tag: &str) -> ResultStore {
+        ResultStore::in_memory()
     }
 
     fn spec(mode: CellMode) -> CellSpec {
@@ -299,7 +298,7 @@ mod tests {
         assert_eq!(r1.records.len(), 6);
         assert_eq!(r1.censored(), 0);
         // Journal was promoted away.
-        assert!(!store.journal_path(&s).exists());
+        assert!(!store.has_journal(&s));
 
         let r2 = run_cell(&s, &store, &obs, &ExecOptions::default())
             .unwrap()
@@ -307,7 +306,6 @@ mod tests {
         assert_eq!(obs.trials.load(Ordering::Relaxed), 6, "no re-simulation");
         assert_eq!(obs.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(r1.records, r2.records);
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -344,8 +342,6 @@ mod tests {
         );
         assert_eq!(obs.recovered.load(Ordering::Relaxed), 2);
         assert_eq!(fresh.records, resumed.records);
-        let _ = std::fs::remove_dir_all(store_a.dir());
-        let _ = std::fs::remove_dir_all(store_b.dir());
     }
 
     #[test]
@@ -376,7 +372,6 @@ mod tests {
         for o in f.outcomes() {
             assert_eq!(o.final_counts.iter().sum::<u64>(), 12);
         }
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -397,7 +392,6 @@ mod tests {
             assert_eq!(row.len(), 1 + num_states);
             assert_eq!(row[1..].iter().sum::<u64>(), 12);
         }
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -422,6 +416,5 @@ mod tests {
         );
         assert_eq!(r.interactions(), batch.interactions);
         assert_eq!(r.censored(), batch.censored);
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -11,7 +11,11 @@
 //! * **Content-addressed caching** ([`store`]) — a completed cell is
 //!   stored under a stable hash of everything that determines its output;
 //!   re-running a finished plan is a no-op and figures regenerate
-//!   incrementally when only part of a grid changed.
+//!   incrementally when only part of a grid changed. Storage is
+//!   pluggable ([`backend`]): the historical file store, an in-memory
+//!   store for tests and ephemeral serving, and a compacting
+//!   append-only log sized for millions of cells (`pp-serve`'s cache
+//!   tier; select with `PP_STORE_BACKEND`).
 //! * **Crash-safe resume** ([`journal`], [`exec`]) — every finished trial
 //!   is appended to a per-cell JSONL journal; after an interruption the
 //!   next run replays the journal and simulates only the missing trials.
@@ -27,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cli;
 pub mod exec;
 pub mod journal;

@@ -138,11 +138,11 @@ mod tests {
     use crate::spec::CellMode;
     use std::sync::atomic::Ordering;
 
-    fn temp_store(tag: &str) -> ResultStore {
-        let dir =
-            std::env::temp_dir().join(format!("pp_sweep_runner_{tag}_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        ResultStore::at(dir)
+    // Orchestration semantics are backend-independent; unit tests use
+    // the in-memory backend (see tests/backend_conformance.rs for the
+    // cross-backend battery).
+    fn temp_store(_tag: &str) -> ResultStore {
+        ResultStore::in_memory()
     }
 
     fn cfg() -> PlanConfig {
@@ -161,7 +161,6 @@ mod tests {
         let stats = run_cells(&cells, &store, &obs, &ExecOptions::default()).unwrap();
         assert_eq!(stats.cells, 1);
         assert_eq!(obs.trials.load(Ordering::Relaxed), 4);
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -180,7 +179,6 @@ mod tests {
         run_cells(&cells, &store, &second, &ExecOptions::default()).unwrap();
         assert_eq!(second.cache_hits.load(Ordering::Relaxed), 3, "100% hits");
         assert_eq!(second.trials.load(Ordering::Relaxed), 0, "nothing re-run");
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]
@@ -208,6 +206,5 @@ mod tests {
         )
         .unwrap();
         assert!(text.starts_with("mean="));
-        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -7,6 +7,7 @@
 //! bit-identical trial records, which is what lets the store treat the
 //! key's hash as the cell's content address.
 
+use crate::json::Value;
 use pp_engine::protocol::{CompiledProtocol, StateId};
 use pp_engine::stability::{Signature, Silent, StabilityCriterion};
 use pp_protocols::hierarchical::{HierarchicalPartition, HierarchicalStable};
@@ -285,6 +286,136 @@ impl CellSpec {
         MaterializedCell { proto, criterion }
     }
 
+    /// Encode as the `pp-serve` wire object, e.g.
+    /// `{"protocol":"ukp","k":4,"n":96,"trials":100,"seed":12345,
+    /// "criterion":"stable","budget":1000000,"mode":"summary",
+    /// "kernel":"leap"}`.
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(&'static str, Value)> = Vec::new();
+        match self.protocol {
+            ProtocolId::UniformKPartition { k } => {
+                pairs.push(("protocol", Value::Str("ukp".into())));
+                pairs.push(("k", Value::U64(k as u64)));
+            }
+            ProtocolId::BasicStrategy { k } => {
+                pairs.push(("protocol", Value::Str("basic".into())));
+                pairs.push(("k", Value::U64(k as u64)));
+            }
+            ProtocolId::OneSidedAbort { k } => {
+                pairs.push(("protocol", Value::Str("oneside".into())));
+                pairs.push(("k", Value::U64(k as u64)));
+            }
+            ProtocolId::ComposedBipartition { h } => {
+                pairs.push(("protocol", Value::Str("composed".into())));
+                pairs.push(("h", Value::U64(u64::from(h))));
+            }
+            ProtocolId::ApproxPartition { k } => {
+                pairs.push(("protocol", Value::Str("approx".into())));
+                pairs.push(("k", Value::U64(k as u64)));
+            }
+        }
+        pairs.push(("n", Value::U64(self.n)));
+        pairs.push(("trials", Value::U64(self.trials as u64)));
+        pairs.push(("seed", Value::U64(self.seed)));
+        pairs.push((
+            "criterion",
+            Value::Str(
+                match self.criterion {
+                    CriterionKind::Stable => "stable",
+                    CriterionKind::Silent => "silent",
+                }
+                .into(),
+            ),
+        ));
+        pairs.push(("budget", Value::U64(self.budget)));
+        match self.mode {
+            CellMode::Summary => pairs.push(("mode", Value::Str("summary".into()))),
+            CellMode::Watched => pairs.push(("mode", Value::Str("watched".into()))),
+            CellMode::Full => pairs.push(("mode", Value::Str("full".into()))),
+            CellMode::Trajectory { sample_every } => {
+                pairs.push(("mode", Value::Str("trajectory".into())));
+                pairs.push(("sample_every", Value::U64(sample_every)));
+            }
+        }
+        pairs.push(("kernel", Value::Str(self.kernel.key_fragment().to_string())));
+        Value::obj(pairs)
+    }
+
+    /// Decode the `pp-serve` wire object. `protocol`, `n`, `trials`,
+    /// `seed`, and `budget` are required (they all enter the content
+    /// address, so there are no silent defaults for them); `criterion`
+    /// defaults to `stable`, `mode` to `summary`, and `kernel` to the
+    /// mode's [`KernelChoice::auto_for`] resolution.
+    pub fn from_json(v: &Value) -> Result<CellSpec, String> {
+        let req_u64 = |field: &str| -> Result<u64, String> {
+            v.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{field}'"))
+        };
+        let k = || -> Result<usize, String> { Ok(req_u64("k")? as usize) };
+        let protocol = match v
+            .get("protocol")
+            .and_then(Value::as_str)
+            .ok_or("missing field 'protocol'")?
+        {
+            "ukp" => ProtocolId::UniformKPartition { k: k()? },
+            "basic" => ProtocolId::BasicStrategy { k: k()? },
+            "oneside" => ProtocolId::OneSidedAbort { k: k()? },
+            "composed" => ProtocolId::ComposedBipartition {
+                h: req_u64("h")? as u32,
+            },
+            "approx" => ProtocolId::ApproxPartition { k: k()? },
+            other => return Err(format!("unknown protocol '{other}'")),
+        };
+        let criterion = match v.get("criterion").and_then(Value::as_str) {
+            None | Some("stable") => CriterionKind::Stable,
+            Some("silent") => CriterionKind::Silent,
+            Some(other) => return Err(format!("unknown criterion '{other}'")),
+        };
+        let mode = match v.get("mode").and_then(Value::as_str) {
+            None | Some("summary") => CellMode::Summary,
+            Some("watched") => CellMode::Watched,
+            Some("full") => CellMode::Full,
+            Some("trajectory") => CellMode::Trajectory {
+                sample_every: req_u64("sample_every")?,
+            },
+            Some(other) => return Err(format!("unknown mode '{other}'")),
+        };
+        let kernel = match v.get("kernel").and_then(Value::as_str) {
+            None => KernelChoice::auto_for(mode),
+            Some("naive") => KernelChoice::Naive,
+            Some("leap") => KernelChoice::Leap,
+            Some(other) => return Err(format!("unknown kernel '{other}'")),
+        };
+        let spec = CellSpec {
+            protocol,
+            n: req_u64("n")?,
+            trials: req_u64("trials")? as usize,
+            seed: req_u64("seed")?,
+            criterion,
+            budget: req_u64("budget")?,
+            mode,
+            kernel,
+        };
+        if spec.trials == 0 {
+            return Err("trials must be positive".into());
+        }
+        if spec.n == 0 {
+            return Err("n must be positive".into());
+        }
+        // k = 1 is degenerate and k < 1 impossible; reject before
+        // materialize() can panic inside a server.
+        if spec.protocol.k() < 2 {
+            return Err("k must be at least 2".into());
+        }
+        if matches!(spec.mode, CellMode::Watched)
+            && !matches!(spec.protocol, ProtocolId::UniformKPartition { .. })
+        {
+            return Err("watched mode is only defined for protocol 'ukp'".into());
+        }
+        Ok(spec)
+    }
+
     /// The watched state for [`CellMode::Watched`] cells: `g_k`.
     ///
     /// # Panics
@@ -482,6 +613,67 @@ mod tests {
             counts[m.proto.initial_state().index()] = 12;
             assert!(!m.criterion.is_stable(&m.proto, &counts));
         }
+    }
+
+    #[test]
+    fn wire_json_roundtrips_every_protocol_and_mode() {
+        let mut specs = vec![ukp_cell()];
+        for proto in [
+            ProtocolId::BasicStrategy { k: 3 },
+            ProtocolId::OneSidedAbort { k: 5 },
+            ProtocolId::ComposedBipartition { h: 2 },
+            ProtocolId::ApproxPartition { k: 3 },
+        ] {
+            specs.push(CellSpec {
+                protocol: proto,
+                criterion: CriterionKind::Silent,
+                kernel: KernelChoice::Naive,
+                ..ukp_cell()
+            });
+        }
+        specs.push(CellSpec {
+            mode: CellMode::Trajectory { sample_every: 64 },
+            kernel: KernelChoice::Naive,
+            ..ukp_cell()
+        });
+        specs.push(CellSpec {
+            mode: CellMode::Watched,
+            ..ukp_cell()
+        });
+        for s in &specs {
+            let v = s.to_json();
+            let back = CellSpec::from_json(&v).unwrap();
+            assert_eq!(&back, s, "roundtrip of {}", s.canonical_key());
+            // And the wire text itself parses back identically.
+            let reparsed = crate::json::Value::parse(&v.encode()).unwrap();
+            assert_eq!(CellSpec::from_json(&reparsed).unwrap(), *s);
+        }
+    }
+
+    #[test]
+    fn wire_json_rejects_bad_specs() {
+        let bad = [
+            "{}",
+            "{\"protocol\":\"nope\",\"n\":1}",
+            "{\"protocol\":\"ukp\",\"k\":4}",
+            "{\"protocol\":\"ukp\",\"k\":1,\"n\":12,\"trials\":1,\"seed\":1,\"budget\":10}",
+            "{\"protocol\":\"ukp\",\"k\":4,\"n\":0,\"trials\":1,\"seed\":1,\"budget\":10}",
+            "{\"protocol\":\"ukp\",\"k\":4,\"n\":12,\"trials\":0,\"seed\":1,\"budget\":10}",
+            "{\"protocol\":\"basic\",\"k\":4,\"n\":12,\"trials\":1,\"seed\":1,\"budget\":10,\"mode\":\"watched\"}",
+            "{\"protocol\":\"ukp\",\"k\":4,\"n\":12,\"trials\":1,\"seed\":1,\"budget\":10,\"mode\":\"trajectory\"}",
+        ];
+        for text in bad {
+            let v = crate::json::Value::parse(text).unwrap();
+            assert!(CellSpec::from_json(&v).is_err(), "accepted {text}");
+        }
+        // Defaults: criterion/mode/kernel may be omitted.
+        let v = crate::json::Value::parse(
+            "{\"protocol\":\"ukp\",\"k\":4,\"n\":12,\"trials\":2,\"seed\":9,\"budget\":1000}",
+        )
+        .unwrap();
+        let s = CellSpec::from_json(&v).unwrap();
+        assert_eq!(s.criterion, CriterionKind::Stable);
+        assert_eq!(s.mode, CellMode::Summary);
     }
 
     #[test]

@@ -51,9 +51,15 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
     p[pi..].iter().all(|&c| c == '*')
 }
 
-/// Where a cell's trace lives: `<store>/<stem>.trace`.
+/// Where a cell's trace lives: `<store>/<stem>.trace` for
+/// directory-backed stores; for mem/log backends (which have no store
+/// directory) traces land under `<results>/traces/` instead.
 pub fn trace_path(store: &ResultStore, spec: &CellSpec) -> PathBuf {
-    store.dir().join(format!("{}.trace", spec.file_stem()))
+    let dir = match store.fs_dir() {
+        Some(d) => d.to_path_buf(),
+        None => pp_analysis::config::results_dir().join("traces"),
+    };
+    dir.join(format!("{}.trace", spec.file_stem()))
 }
 
 /// What tracing one cell produced.
