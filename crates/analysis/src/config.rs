@@ -9,8 +9,8 @@
 //!   date);
 //! * `PP_RESULTS_DIR` — where CSVs, logs, and the `pp-sweep` result
 //!   store live (default `<workspace root>/results`);
-//! * `PP_KERNEL` — simulation kernel selection (`auto`, `leap`, or
-//!   `naive`; default `auto`).
+//! * `PP_KERNEL` — simulation kernel selection (`auto`, `leap`, `batch`,
+//!   or `naive`; default `auto`).
 
 use std::path::PathBuf;
 
@@ -25,9 +25,12 @@ pub enum KernelKnob {
     Naive,
     /// Force the leap kernel.
     Leap,
+    /// Force the tau-leap batch kernel (bounded-error bulk firing with
+    /// exact-leap fallback near convergence; see `pp_engine::batch`).
+    Batch,
 }
 
-/// Kernel selection; `PP_KERNEL` ∈ {`auto`, `naive`, `leap`}
+/// Kernel selection; `PP_KERNEL` ∈ {`auto`, `naive`, `leap`, `batch`}
 /// (case-insensitive) overrides the default `auto`. Unrecognised values
 /// fall back to `auto` rather than aborting, matching the other knobs'
 /// lenient parsing.
@@ -39,6 +42,7 @@ pub fn kernel() -> KernelKnob {
     {
         "naive" => KernelKnob::Naive,
         "leap" => KernelKnob::Leap,
+        "batch" => KernelKnob::Batch,
         _ => KernelKnob::Auto,
     }
 }

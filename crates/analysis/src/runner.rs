@@ -81,6 +81,14 @@ pub enum Kernel {
     /// The leap kernel ([`Simulator::run_leap`]): identity interactions
     /// are skipped in closed form.
     Leap,
+    /// The tau-leap batch kernel ([`Simulator::run_batch`]): whole
+    /// batches of rule firings per step, bounded-error in the bulk and
+    /// exact near convergence (see `pp_engine::batch` for the error
+    /// model). [`run_trials`] advances batch trials through the
+    /// struct-of-arrays fleet runner ([`pp_engine::fleet`]), which is
+    /// bit-identical per seed to the scalar entry point used by
+    /// `pp-sweep`.
+    Batch,
 }
 
 impl Kernel {
@@ -91,6 +99,7 @@ impl Kernel {
     pub fn from_env() -> Kernel {
         match crate::config::kernel() {
             crate::config::KernelKnob::Naive => Kernel::Naive,
+            crate::config::KernelKnob::Batch => Kernel::Batch,
             crate::config::KernelKnob::Leap | crate::config::KernelKnob::Auto => Kernel::Leap,
         }
     }
@@ -158,6 +167,9 @@ where
         Kernel::Leap => {
             sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
         }
+        Kernel::Batch => {
+            sim.run_batch_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
     };
     match res {
         Ok(r) => Some(r.interactions),
@@ -182,6 +194,9 @@ where
     C: StabilityCriterion + Sync,
 {
     let kernel = Kernel::from_env();
+    if kernel == Kernel::Batch {
+        return run_trials_batch_fleet(proto, n, criterion, cfg);
+    }
     let results: Vec<Option<u64>> = (0..cfg.trials as u64)
         .into_par_iter()
         .map(|i| {
@@ -201,6 +216,73 @@ where
         match r {
             Some(x) => interactions.push(x),
             None => censored += 1,
+        }
+    }
+    TrialBatch {
+        interactions,
+        censored,
+    }
+}
+
+/// Trials per struct-of-arrays fleet: small enough that a fleet's counts
+/// arena stays cache-resident, large enough to amortise channel
+/// compilation, and plural enough to let rayon spread fleets over cores.
+const FLEET_CHUNK: usize = 64;
+
+/// [`run_trials`] on the batch kernel: trials advance through
+/// [`pp_engine::fleet::run_batch_fleet`] in chunks of [`FLEET_CHUNK`],
+/// one fleet per rayon task. Seeds are the same `derive(master_seed, i)`
+/// grid as every other path, and each fleet member's trajectory is
+/// bit-identical to the scalar `run_batch` of its seed, so results are
+/// interchangeable with the journaled per-trial path `pp-sweep` uses.
+fn run_trials_batch_fleet<C>(
+    proto: &CompiledProtocol,
+    n: u64,
+    criterion: &C,
+    cfg: TrialConfig,
+) -> TrialBatch
+where
+    C: StabilityCriterion + Sync,
+{
+    let mut initial = vec![0u64; proto.num_states()];
+    initial[proto.initial_state().index()] = n;
+    let batch_cfg = pp_engine::BatchConfig::default();
+    let all_seeds: Vec<u64> = (0..cfg.trials as u64)
+        .map(|i| seeds::derive(cfg.master_seed, i))
+        .collect();
+    let chunks: Vec<Vec<u64>> = all_seeds.chunks(FLEET_CHUNK).map(|c| c.to_vec()).collect();
+    let summaries: Vec<pp_engine::FleetSummary> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            pp_engine::run_batch_fleet(
+                proto,
+                &initial,
+                &chunk,
+                criterion,
+                cfg.max_interactions,
+                &batch_cfg,
+            )
+        })
+        .collect();
+    // Flush the same counters a per-trial TelemetryObserver would have.
+    let metrics = pp_engine::engine_metrics();
+    let mut interactions = Vec::with_capacity(cfg.trials);
+    let mut censored = 0usize;
+    for s in &summaries {
+        metrics.interactions.add(s.interactions);
+        metrics.effective_interactions.add(s.effective_interactions);
+        metrics.leap_batches.add(s.leap_batches);
+        metrics.batch_fallbacks.add(s.batch_fallbacks);
+        for r in &s.results {
+            metrics.runs.inc();
+            match r {
+                Ok(res) => interactions.push(res.interactions),
+                Err(RunError::InteractionLimit { .. }) => {
+                    metrics.censored_runs.inc();
+                    censored += 1;
+                }
+                Err(e) => panic!("trial failed: {e}"),
+            }
         }
     }
     TrialBatch {
@@ -294,6 +376,13 @@ where
         }
         Kernel::Leap => {
             sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut obs)
+        }
+        // Batch: completion times are recorded at leap granularity (a
+        // completion inside a leap is attributed to the leap's last
+        // interaction) — bounded by one leap horizon, documented on
+        // `Observer::on_leap_batch`.
+        Kernel::Batch => {
+            sim.run_batch_observed(&mut pop, &mut sched, criterion, max_interactions, &mut obs)
         }
     };
     let pp_engine::observer::Chain(gc, mut tel) = obs;
@@ -408,6 +497,9 @@ where
         Kernel::Leap => {
             sim.run_leap_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
         }
+        Kernel::Batch => {
+            sim.run_batch_observed(&mut pop, &mut sched, criterion, max_interactions, &mut tel)
+        }
     };
     use pp_engine::population::Population;
     TrialOutcome {
@@ -494,6 +586,45 @@ mod tests {
             assert!(t.completions.windows(2).all(|w| w[0] <= w[1]));
             assert_eq!(*t.completions.last().unwrap(), total);
         }
+    }
+
+    #[test]
+    fn fleet_fast_path_matches_per_trial_batch_kernel() {
+        let (p, _) = two_phase();
+        let cfg = TrialConfig {
+            trials: 130, // > 2 × FLEET_CHUNK so chunk boundaries are exercised
+            master_seed: 77,
+            max_interactions: 1_000_000,
+        };
+        let fleet = run_trials_batch_fleet(&p, 301, &Silent, cfg);
+        let scalar: Vec<u64> = (0..cfg.trials as u64)
+            .map(|i| {
+                run_trial_kernel(
+                    &p,
+                    301,
+                    &Silent,
+                    seeds::derive(cfg.master_seed, i),
+                    cfg.max_interactions,
+                    Kernel::Batch,
+                )
+                .expect("uncensored")
+            })
+            .collect();
+        assert_eq!(fleet.interactions, scalar);
+        assert_eq!(fleet.censored, 0);
+    }
+
+    #[test]
+    fn fleet_fast_path_counts_censoring() {
+        let (p, _) = two_phase();
+        let cfg = TrialConfig {
+            trials: 8,
+            master_seed: 1,
+            max_interactions: 1,
+        };
+        let batch = run_trials_batch_fleet(&p, 11, &Silent, cfg);
+        assert_eq!(batch.censored, 8);
+        assert!(batch.interactions.is_empty());
     }
 
     #[test]

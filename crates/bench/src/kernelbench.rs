@@ -1,12 +1,26 @@
-//! Naive-vs-leap kernel measurement: the numbers behind
-//! `BENCH_engine.json` and the CI speedup smoke test.
+//! Kernel measurement (naive vs leap vs batch): the numbers behind
+//! `BENCH_engine.json` and the CI speedup smoke tests.
 //!
-//! Both kernels simulate the same process — a uniform random scheduler
+//! All kernels simulate the same process — a uniform random scheduler
 //! drawing ordered pairs of distinct agents — so the honest throughput
 //! metric is *scheduler interactions per second*: identity (null)
 //! interactions included, because the paper's time metric counts them
 //! and the naive loop pays for each one. The leap kernel skips whole
-//! identity runs in O(1), which is exactly where its advantage shows.
+//! identity runs in O(1), which is exactly where its advantage shows;
+//! the batch kernel additionally fires whole tau-leaps of rule firings
+//! in O(|rules|), which is where the giant-n regime opens up.
+//!
+//! ## Censoring semantics
+//!
+//! A measurement is *censored* when the run hit its interaction budget
+//! before stabilising; a censored run did **less work than the task**
+//! (run to stability), so wall-clock times of a censored and an
+//! uncensored run are not comparable. Every per-kernel record therefore
+//! carries its own `censored` flag, a cell is censored iff *any* of its
+//! kernels is, and [`cell_json`] picks the speedup basis from the flags:
+//! end-to-end `wall_clock` when both compared kernels completed the same
+//! run, per-interaction `interactions_per_sec` (flat per-interaction
+//! cost, honest under censoring) otherwise.
 
 use std::time::Instant;
 
@@ -24,6 +38,8 @@ pub enum BenchKernel {
     Naive,
     /// Geometric identity-run skipping ([`Simulator::run_leap`]).
     Leap,
+    /// Tau-leap bulk firing with exact fallback ([`Simulator::run_batch`]).
+    Batch,
 }
 
 impl BenchKernel {
@@ -32,6 +48,7 @@ impl BenchKernel {
         match self {
             BenchKernel::Naive => "naive",
             BenchKernel::Leap => "leap",
+            BenchKernel::Batch => "batch",
         }
     }
 }
@@ -65,7 +82,9 @@ impl KernelMeasurement {
 /// Counts effective interactions; works on the censored path too, where
 /// `RunError` carries no counters. The leap kernel only reports
 /// effective interactions, the naive kernel reports identities as well,
-/// so counting `(p, q) != (p2, q2)` is right for both.
+/// so counting `(p, q) != (p2, q2)` is right for both; the batch kernel
+/// reports each tau-leap's effective-firing total through
+/// `on_leap_batch` and its exact-fallback interactions one by one.
 #[derive(Default)]
 struct EffectiveCounter {
     effective: u64,
@@ -85,6 +104,11 @@ impl Observer for EffectiveCounter {
         if (p, q) != (p2, q2) {
             self.effective += 1;
         }
+    }
+
+    #[inline]
+    fn on_leap_batch(&mut self, _last_step: u64, _tau: u64, effective: u64, _counts: &[u64]) {
+        self.effective += effective;
     }
 }
 
@@ -106,6 +130,9 @@ pub fn measure(kernel: BenchKernel, k: usize, n: u64, budget: u64, seed: u64) ->
         }
         BenchKernel::Leap => {
             sim.run_leap_observed(&mut pop, &mut sched, &criterion, budget, &mut counter)
+        }
+        BenchKernel::Batch => {
+            sim.run_batch_observed(&mut pop, &mut sched, &criterion, budget, &mut counter)
         }
     };
     let seconds = t0.elapsed().as_secs_f64();
@@ -131,13 +158,71 @@ pub fn measure(kernel: BenchKernel, k: usize, n: u64, budget: u64, seed: u64) ->
     }
 }
 
+/// One JSON record per measured kernel run, carrying the run's own
+/// censoring flag (see the module docs on censoring semantics).
+pub fn measurement_json(m: &KernelMeasurement) -> pp_sweep::json::Value {
+    use pp_sweep::json::Value;
+    Value::obj([
+        ("kernel", Value::Str(m.kernel.label().to_string())),
+        ("interactions", Value::U64(m.interactions)),
+        (
+            "effective_interactions",
+            Value::U64(m.effective_interactions),
+        ),
+        ("micros", Value::U64((m.seconds * 1e6) as u64)),
+        (
+            "interactions_per_sec",
+            Value::U64(m.interactions_per_sec() as u64),
+        ),
+        ("stabilised", Value::Bool(m.stabilised)),
+        ("censored", Value::Bool(!m.stabilised)),
+    ])
+}
+
+/// One cell of `BENCH_engine.json`: the measurements of every kernel
+/// that ran at this population size, keyed by kernel label.
+///
+/// The cell-level `censored` flag is true iff any kernel's run was
+/// censored; per-kernel flags live in the sub-records, so a cell where
+/// naive hit its cap while leap stabilised reads `censored: true` at the
+/// cell *and* `naive.censored: true` / `leap.censored: false` below it.
+/// When both naive and leap ran, the cell carries their speedup: an
+/// end-to-end wall-clock ratio (`speedup_basis: "wall_clock"`) when both
+/// completed the run to stability, a throughput ratio
+/// (`speedup_basis: "interactions_per_sec"`) when censoring made wall
+/// times incomparable.
+pub fn cell_json(n: u64, ms: &[KernelMeasurement]) -> pp_sweep::json::Value {
+    use pp_sweep::json::Value;
+    let censored = ms.iter().any(|m| !m.stabilised);
+    let mut fields = vec![("n", Value::U64(n))];
+    for m in ms {
+        fields.push((m.kernel.label(), measurement_json(m)));
+    }
+    fields.push(("censored", Value::Bool(censored)));
+    let naive = ms.iter().find(|m| m.kernel == BenchKernel::Naive);
+    let leap = ms.iter().find(|m| m.kernel == BenchKernel::Leap);
+    if let (Some(na), Some(le)) = (naive, leap) {
+        let (speedup, basis) = if na.stabilised && le.stabilised {
+            (na.seconds / le.seconds.max(1e-12), "wall_clock")
+        } else {
+            (
+                le.interactions_per_sec() / na.interactions_per_sec().max(1e-12),
+                "interactions_per_sec",
+            )
+        };
+        fields.push(("speedup", Value::U64(speedup as u64)));
+        fields.push(("speedup_basis", Value::Str(basis.to_string())));
+    }
+    Value::obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn both_kernels_stabilise_a_small_cell() {
-        for kernel in [BenchKernel::Naive, BenchKernel::Leap] {
+    fn all_kernels_stabilise_a_small_cell() {
+        for kernel in [BenchKernel::Naive, BenchKernel::Leap, BenchKernel::Batch] {
             let m = measure(kernel, 3, 24, u64::MAX, 7);
             assert!(m.stabilised, "{:?} failed to stabilise", kernel);
             assert!(m.interactions >= m.effective_interactions);
@@ -150,5 +235,73 @@ mod tests {
         let m = measure(BenchKernel::Naive, 3, 24, 10, 7);
         assert!(!m.stabilised);
         assert_eq!(m.interactions, 10);
+    }
+
+    fn fake(kernel: BenchKernel, stabilised: bool, seconds: f64, ips: f64) -> KernelMeasurement {
+        KernelMeasurement {
+            kernel,
+            k: 8,
+            n: 1000,
+            interactions: (ips * seconds) as u64,
+            effective_interactions: 10,
+            seconds,
+            stabilised,
+        }
+    }
+
+    #[test]
+    fn cell_json_per_kernel_censoring_and_wall_basis() {
+        // Both kernels completed the run: uncensored cell, wall-clock basis.
+        let cell = cell_json(
+            1000,
+            &[
+                fake(BenchKernel::Naive, true, 2.0, 1e6),
+                fake(BenchKernel::Leap, true, 1.0, 2e6),
+            ],
+        )
+        .encode();
+        assert!(cell.contains("\"censored\":false"));
+        assert!(cell.contains("\"speedup_basis\":\"wall_clock\""));
+        assert!(cell.contains("\"speedup\":2"));
+    }
+
+    #[test]
+    fn cell_json_censored_naive_downgrades_to_throughput_basis() {
+        // Naive hit its cap, leap stabilised: the cell is censored, the
+        // naive sub-record says so, the leap sub-record does not, and the
+        // speedup switches to the per-interaction basis because the two
+        // wall times cover different amounts of work.
+        let cell = cell_json(
+            100_000,
+            &[
+                fake(BenchKernel::Naive, false, 2.0, 1e6),
+                fake(BenchKernel::Leap, true, 1.0, 50e6),
+                fake(BenchKernel::Batch, true, 0.5, 100e6),
+            ],
+        )
+        .encode();
+        assert!(cell.contains("\"censored\":true"));
+        assert!(cell.contains("\"speedup_basis\":\"interactions_per_sec\""));
+        assert!(cell.contains("\"speedup\":50"));
+        // Per-kernel flags diverge within the one cell.
+        let naive_rec = cell.split("\"naive\":").nth(1).unwrap();
+        assert!(naive_rec
+            .split('}')
+            .next()
+            .unwrap()
+            .contains("\"censored\":true"));
+        let leap_rec = cell.split("\"leap\":").nth(1).unwrap();
+        assert!(leap_rec
+            .split('}')
+            .next()
+            .unwrap()
+            .contains("\"censored\":false"));
+    }
+
+    #[test]
+    fn cell_json_without_naive_has_no_speedup_pair() {
+        let cell = cell_json(100_000_000, &[fake(BenchKernel::Batch, true, 1.0, 1e12)]).encode();
+        assert!(cell.contains("\"censored\":false"));
+        assert!(!cell.contains("speedup"));
     }
 }

@@ -30,7 +30,6 @@
 //! stabilisation-dominated regime the paper's large-`n` measurements live
 //! in.
 
-use crate::population::{CountPopulation, Population};
 use crate::protocol::{CompiledProtocol, StateId};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore};
@@ -138,16 +137,20 @@ impl IdentityWeights {
     /// interaction being *effective* (non-identity), with the exact
     /// conditional distribution of the uniform random scheduler.
     ///
+    /// Takes the population as a raw `(n, counts)` pair so callers that
+    /// work on detached count vectors (the batch kernel's exact-fallback
+    /// steps, the fleet runner) can share this code path bit-for-bit with
+    /// [`crate::simulator::Simulator::run_leap`].
+    ///
     /// Requires `W_eff = n(n−1) − W_id > 0`. Cost is O(occupied states)
     /// for the row scan plus O(|Q|) for the column scan of the chosen row.
     pub fn sample_effective(
         &self,
         proto: &CompiledProtocol,
-        pop: &CountPopulation,
+        n: u64,
+        counts: &[u64],
         rng: &mut SmallRng,
     ) -> (StateId, StateId) {
-        let n = pop.num_agents();
-        let counts = pop.counts();
         let total = n * (n - 1);
         let w_eff = total - self.w_id;
         debug_assert!(w_eff > 0, "no effective pair enabled");
@@ -214,6 +217,7 @@ pub fn sample_identity_run(rng: &mut SmallRng, w_id: u64, total: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::population::{CountPopulation, Population};
     use crate::spec::ProtocolSpec;
     use rand::SeedableRng;
 
@@ -302,7 +306,7 @@ mod tests {
         let trials = 20_000;
         let mut si = 0u32;
         for _ in 0..trials {
-            let (p, q) = w.sample_effective(&proto, &pop, &mut rng);
+            let (p, q) = w.sample_effective(&proto, pop.num_agents(), pop.counts(), &mut rng);
             assert!(!proto.is_identity(p, q));
             if (p, q) == (s, i) {
                 si += 1;

@@ -30,8 +30,10 @@
 //!   stable configuration").
 //! * [`simulator`] — the execution driver, with an [`observer`] hook for
 //!   recording events such as group-completion times. Offers a naive
-//!   one-interaction-per-step loop and a batched [`leap`] kernel that
-//!   skips identity interactions in closed form.
+//!   one-interaction-per-step loop, a [`leap`] kernel that skips identity
+//!   interactions in closed form, and a tau-leap [`batch`] kernel that
+//!   fires whole batches of rules per step (with a [`fleet`] runner
+//!   advancing many trials in lockstep).
 //! * [`trace`] — scripted executions and human-readable configuration
 //!   pretty-printing (used to replay the paper's Figures 1 and 2).
 //! * [`graph`] — interaction graphs for the per-agent representation.
@@ -70,7 +72,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dot;
+pub mod fleet;
 pub mod graph;
 pub mod leap;
 pub mod metrics;
@@ -84,6 +88,8 @@ pub mod spec;
 pub mod stability;
 pub mod trace;
 
+pub use batch::{BatchConfig, BatchCore, BatchTrial, Scratch, StepOutcome};
+pub use fleet::{run_batch_fleet, FleetSummary};
 pub use metrics::{engine_metrics, EngineMetrics, TelemetryObserver};
 pub use population::{AgentPopulation, CountPopulation, Population};
 pub use protocol::{CompiledProtocol, GroupId, RuleId, StateId};

@@ -18,8 +18,10 @@
 //! | `engine.effective_interactions` | counter   | state-changing interactions |
 //! | `engine.identity_run_len`       | histogram | lengths of maximal identity runs |
 //! | `engine.stability.rescans`      | counter   | O(&#124;Q&#124;) fallback stability rescans |
+//! | `engine.leap_batches`           | counter   | tau-leaps applied by the batch kernel |
+//! | `engine.batch_fallbacks`        | counter   | batch→exact fallback transitions |
 
-use crate::observer::Observer;
+use crate::observer::{FallbackReason, Observer};
 use crate::protocol::StateId;
 use pp_telemetry::{Counter, Histogram, LocalHistogram, Registry};
 use std::sync::{Arc, OnceLock};
@@ -39,6 +41,10 @@ pub struct EngineMetrics {
     pub identity_run_len: Arc<Histogram>,
     /// Full-rescan stability checks (the O(|Q|) tracker fallback).
     pub stability_rescans: Arc<Counter>,
+    /// Tau-leap batches applied by the batch kernel.
+    pub leap_batches: Arc<Counter>,
+    /// Batch-kernel fallbacks to exact leap stepping (all reasons).
+    pub batch_fallbacks: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -51,6 +57,8 @@ impl EngineMetrics {
             effective_interactions: reg.counter("engine.effective_interactions"),
             identity_run_len: reg.histogram("engine.identity_run_len"),
             stability_rescans: reg.counter("engine.stability.rescans"),
+            leap_batches: reg.counter("engine.leap_batches"),
+            batch_fallbacks: reg.counter("engine.batch_fallbacks"),
         }
     }
 }
@@ -78,6 +86,8 @@ pub struct TelemetryObserver {
     /// Length of the in-progress identity run (naive kernel only).
     open_run: u64,
     identity_runs: LocalHistogram,
+    leap_batches: u64,
+    batch_fallbacks: u64,
     censored: bool,
 }
 
@@ -100,6 +110,8 @@ impl TelemetryObserver {
             effective: 0,
             open_run: 0,
             identity_runs: LocalHistogram::new(),
+            leap_batches: 0,
+            batch_fallbacks: 0,
             censored: false,
         }
     }
@@ -139,8 +151,12 @@ impl TelemetryObserver {
         self.target.interactions.add(self.interactions);
         self.target.effective_interactions.add(self.effective);
         self.target.identity_run_len.merge(&self.identity_runs);
+        self.target.leap_batches.add(self.leap_batches);
+        self.target.batch_fallbacks.add(self.batch_fallbacks);
         self.interactions = 0;
         self.effective = 0;
+        self.leap_batches = 0;
+        self.batch_fallbacks = 0;
         self.identity_runs = LocalHistogram::new();
     }
 }
@@ -186,6 +202,22 @@ impl Observer for TelemetryObserver {
         // Leap kernel: the whole maximal run arrives in one call.
         self.interactions += skipped;
         self.identity_runs.record(skipped);
+    }
+
+    #[inline]
+    fn on_leap_batch(&mut self, _last_step: u64, tau: u64, effective: u64, _counts: &[u64]) {
+        // Batch kernel: one tau-leap covers `tau` interactions, of which
+        // `effective` fired rules. The identity mass inside a leap is not
+        // a *maximal* identity run, so it deliberately stays out of
+        // `engine.identity_run_len`.
+        self.interactions += tau;
+        self.effective += effective;
+        self.leap_batches += 1;
+    }
+
+    #[inline]
+    fn on_batch_fallback(&mut self, _reason: FallbackReason) {
+        self.batch_fallbacks += 1;
     }
 }
 

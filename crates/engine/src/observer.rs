@@ -9,6 +9,28 @@
 
 use crate::protocol::StateId;
 
+/// Why the batch kernel handed a stretch of the run to the exact leap
+/// kernel. Reported through [`Observer::on_batch_fallback`] and tallied
+/// in `engine.batch_fallbacks`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Some reactant of an enabled rule is at or below the safety
+    /// threshold: a leap could plausibly drive its count negative, and
+    /// low-count dynamics are where tau-leaping's error concentrates.
+    LowCount,
+    /// The tau-selection bound made the expected leap smaller than the
+    /// configured minimum batch — exact stepping is cheaper than drawing
+    /// a degenerate multinomial.
+    SmallLeap,
+    /// The stability tracker reports the configuration within the
+    /// configured number of violated constraints of stability; terminal
+    /// behaviour must be exact.
+    NearConvergence,
+    /// Repeated tau-halving could not find a leap whose drawn firings
+    /// keep every count non-negative.
+    Overdraw,
+}
+
 /// Receives interaction events from the simulator.
 pub trait Observer {
     /// Called after interaction number `step` (1-based) has been applied.
@@ -40,6 +62,29 @@ pub trait Observer {
     /// does nothing.
     #[inline(always)]
     fn on_identity_run(&mut self, _last_step: u64, _skipped: u64, _counts: &[u64]) {}
+
+    /// Called by the batch kernel
+    /// ([`crate::simulator::Simulator::run_batch`]) after applying one
+    /// tau-leap of `tau ≥ 1` scheduler interactions, of which `effective`
+    /// were state-changing rule firings. `last_step` is the (1-based)
+    /// cumulative interaction number of the last interaction in the leap,
+    /// and `counts` is the configuration *after* the whole leap.
+    ///
+    /// Unlike [`Observer::on_interaction`] / [`Observer::on_identity_run`]
+    /// (under which an observer can reconstruct every intermediate
+    /// configuration exactly), a leap batch coalesces many firings whose
+    /// interleaving was *not* sampled — per-step quantities inside a leap
+    /// are only available to within the tau-leap approximation. Observers
+    /// needing exact trajectories should run under the naive or leap
+    /// kernel. The default implementation does nothing.
+    #[inline(always)]
+    fn on_leap_batch(&mut self, _last_step: u64, _tau: u64, _effective: u64, _counts: &[u64]) {}
+
+    /// Called by the batch kernel when it falls back to exact leap
+    /// stepping, with the trigger. The default implementation does
+    /// nothing.
+    #[inline(always)]
+    fn on_batch_fallback(&mut self, _reason: FallbackReason) {}
 }
 
 /// Observer that does nothing; compiles away.
@@ -112,6 +157,19 @@ impl Observer for GroupCompletionObserver {
         while self.max_seen < c {
             self.max_seen += 1;
             self.completions.push(step);
+        }
+    }
+
+    /// Under the batch kernel the firings inside a leap are unordered, so
+    /// a completion that happened mid-leap is attributed to the leap's
+    /// last interaction — completion times carry the tau-leap resolution
+    /// (at most one leap horizon of slack).
+    #[inline]
+    fn on_leap_batch(&mut self, last_step: u64, _tau: u64, _effective: u64, counts: &[u64]) {
+        let c = counts[self.watched.index()];
+        while self.max_seen < c {
+            self.max_seen += 1;
+            self.completions.push(last_step);
         }
     }
 }
@@ -277,6 +335,18 @@ impl<A: Observer, B: Observer> Observer for Chain<A, B> {
     fn on_identity_run(&mut self, last_step: u64, skipped: u64, counts: &[u64]) {
         self.0.on_identity_run(last_step, skipped, counts);
         self.1.on_identity_run(last_step, skipped, counts);
+    }
+
+    #[inline]
+    fn on_leap_batch(&mut self, last_step: u64, tau: u64, effective: u64, counts: &[u64]) {
+        self.0.on_leap_batch(last_step, tau, effective, counts);
+        self.1.on_leap_batch(last_step, tau, effective, counts);
+    }
+
+    #[inline]
+    fn on_batch_fallback(&mut self, reason: FallbackReason) {
+        self.0.on_batch_fallback(reason);
+        self.1.on_batch_fallback(reason);
     }
 }
 

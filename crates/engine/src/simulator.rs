@@ -11,7 +11,7 @@
 //! metric: the number of interactions performed strictly before the first
 //! stable configuration (a population that starts stable reports 0).
 //!
-//! Two kernels drive count-vector populations under the uniform random
+//! Three kernels drive count-vector populations under the uniform random
 //! scheduler:
 //!
 //! * [`Simulator::run`] — the naive loop: one sampled pair per iteration.
@@ -20,7 +20,13 @@
 //!   per *effective* interaction instead of per interaction. Same
 //!   distribution over outcomes, orders of magnitude faster near
 //!   stabilisation where identity interactions dominate.
+//! * [`Simulator::run_batch`] — the tau-leap batch kernel: fires whole
+//!   batches of rule applications per step with bounded propensity drift
+//!   and exact-leap fallback near convergence (see [`crate::batch`]).
+//!   Bounded-error in the bulk, exact in the endgame; the giant-`n`
+//!   workhorse.
 
+use crate::batch::{BatchConfig, BatchCore, BatchTrial, Scratch, StepOutcome};
 use crate::leap::{sample_identity_run, IdentityWeights};
 use crate::observer::{NullObserver, Observer};
 use crate::population::{AgentPopulation, CountPopulation, Population};
@@ -256,7 +262,7 @@ impl<'a> Simulator<'a> {
                 interactions += g;
                 observer.on_identity_run(interactions, g, pop.counts());
             }
-            let (p, q) = weights.sample_effective(self.proto, pop, scheduler.rng_mut());
+            let (p, q) = weights.sample_effective(self.proto, n, pop.counts(), scheduler.rng_mut());
             let (p2, q2) = self.proto.delta(p, q);
             interactions += 1;
             effective += 1;
@@ -272,6 +278,134 @@ impl<'a> Simulator<'a> {
                     effective_interactions: effective,
                 });
             }
+        }
+    }
+
+    /// Run a count-vector population until stability with the **batch
+    /// kernel** and its default [`BatchConfig`], without observation. Same
+    /// contract as [`Simulator::run`]; see
+    /// [`Simulator::run_batch_configured`] for semantics.
+    pub fn run_batch<C>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut UniformRandomScheduler,
+        criterion: &C,
+        max_interactions: u64,
+    ) -> Result<RunResult, RunError>
+    where
+        C: StabilityCriterion,
+    {
+        self.run_batch_configured(
+            pop,
+            scheduler,
+            criterion,
+            max_interactions,
+            &BatchConfig::default(),
+            &mut NullObserver,
+        )
+    }
+
+    /// Run a count-vector population until stability with the **batch
+    /// kernel** and its default [`BatchConfig`], reporting leaps and
+    /// interactions to `observer`.
+    pub fn run_batch_observed<C, O>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut UniformRandomScheduler,
+        criterion: &C,
+        max_interactions: u64,
+        observer: &mut O,
+    ) -> Result<RunResult, RunError>
+    where
+        C: StabilityCriterion,
+        O: Observer,
+    {
+        self.run_batch_configured(
+            pop,
+            scheduler,
+            criterion,
+            max_interactions,
+            &BatchConfig::default(),
+            observer,
+        )
+    }
+
+    /// Run a count-vector population until stability with the **batch
+    /// (tau-leap) kernel**: per step the kernel either fires a whole
+    /// batch of rule applications in one multinomial draw over the
+    /// channel set, or — near convergence, at low counts, or when a leap
+    /// would be degenerate — falls back to exact leap stepping (see
+    /// [`crate::batch`] for the propensity model, error bound, and
+    /// fallback policy).
+    ///
+    /// Identical `RunResult`/`RunError` contract to
+    /// [`Simulator::run_leap_observed`]. Statistics follow the leap
+    /// kernel's law up to the tau-leap approximation (bounded propensity
+    /// drift of O(ε) per leap); with `cfg.safety_threshold ≥ n` every
+    /// step falls back and the run is **bit-identical** to
+    /// [`Simulator::run_leap_observed`] for the same seed.
+    ///
+    /// Observers see exact-fallback stretches through
+    /// [`Observer::on_interaction`] / [`Observer::on_identity_run`]
+    /// exactly as under the leap kernel, and each applied leap through
+    /// [`Observer::on_leap_batch`]; fallback transitions are reported via
+    /// [`Observer::on_batch_fallback`].
+    pub fn run_batch_configured<C, O>(
+        &self,
+        pop: &mut CountPopulation,
+        scheduler: &mut UniformRandomScheduler,
+        criterion: &C,
+        max_interactions: u64,
+        cfg: &BatchConfig,
+        observer: &mut O,
+    ) -> Result<RunResult, RunError>
+    where
+        C: StabilityCriterion,
+        O: Observer,
+    {
+        if criterion.is_stable(self.proto, pop.counts()) {
+            return Ok(RunResult {
+                interactions: 0,
+                effective_interactions: 0,
+            });
+        }
+        let n = pop.num_agents();
+        if n < 2 {
+            return Err(RunError::PopulationTooSmall);
+        }
+        let core = BatchCore::compile(self.proto);
+        let mut scratch = Scratch::new(&core);
+        let mut counts: Vec<u64> = pop.counts().to_vec();
+        let mut trial = BatchTrial::new(self.proto, criterion, &counts);
+        let outcome = loop {
+            match trial.step(
+                self.proto,
+                &core,
+                &mut counts,
+                n,
+                scheduler.rng_mut(),
+                max_interactions,
+                cfg,
+                &mut scratch,
+                observer,
+            ) {
+                StepOutcome::Continue => {}
+                out => break out,
+            }
+        };
+        // Write the detached count vector back through the population's
+        // own accounting (sum-preserving, so `num_agents` is unchanged).
+        for (s, &c) in counts.iter().enumerate() {
+            pop.set_count(crate::protocol::StateId(s as u16), c);
+        }
+        match outcome {
+            StepOutcome::Stable => Ok(RunResult {
+                interactions: trial.interactions,
+                effective_interactions: trial.effective,
+            }),
+            _ => Err(RunError::InteractionLimit {
+                limit: max_interactions,
+            }),
         }
     }
 

@@ -92,6 +92,19 @@ pub trait StabilityTracker {
 
     /// Whether the current configuration (equal to `counts`) is stable.
     fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool;
+
+    /// A cheap *distance-to-stability* hint: how many independently
+    /// tracked constraints are currently violated, if the tracker knows.
+    ///
+    /// The batch kernel ([`crate::simulator::Simulator::run_batch`]) uses
+    /// this to hand control back to the exact leap kernel when the
+    /// configuration is close to stable, so terminal behaviour is never
+    /// approximated. `None` (the default) means the tracker cannot
+    /// quantify the distance; the batch kernel then relies on its other
+    /// fallback triggers alone.
+    fn violations_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Default tracker: ignores deltas and rescans via the wrapped criterion.
@@ -382,6 +395,11 @@ impl StabilityTracker for SignatureTracker {
     fn is_stable(&mut self, _proto: &CompiledProtocol, _counts: &[u64]) -> bool {
         self.violations == 0
     }
+
+    #[inline(always)]
+    fn violations_hint(&self) -> Option<u64> {
+        Some(self.violations as u64)
+    }
 }
 
 /// Never stable — run until the interaction limit.
@@ -428,6 +446,15 @@ impl<A: StabilityCriterion, B: StabilityCriterion> StabilityCriterion for Either
             #[inline]
             fn is_stable(&mut self, proto: &CompiledProtocol, counts: &[u64]) -> bool {
                 self.a.is_stable(proto, counts) || self.b.is_stable(proto, counts)
+            }
+            #[inline]
+            fn violations_hint(&self) -> Option<u64> {
+                // Stability needs only one side to fire, so the distance
+                // is the nearer of the two hints.
+                match (self.a.violations_hint(), self.b.violations_hint()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
             }
         }
         Box::new(EitherTracker {

@@ -275,6 +275,15 @@ fn metrics_cmd(store: &ResultStore, path: &std::path::Path) -> i32 {
     }
     println!("metrics from {}:", path.display());
     print!("{}", snap.summary_table());
+    // One derived line when the batch kernel ran: how often it leapt vs
+    // handed back to exact stepping, the observable batch/exact crossover.
+    let batches = snap.value("engine.leap_batches").unwrap_or(0);
+    if batches > 0 {
+        let fallbacks = snap.value("engine.batch_fallbacks").unwrap_or(0);
+        println!(
+            "batch kernel: {batches} tau-leaps applied, {fallbacks} fallbacks to exact stepping"
+        );
+    }
     0
 }
 
@@ -299,6 +308,14 @@ fn status_telemetry(store: &ResultStore) {
         v("sweep.trials.recovered"),
         path.display()
     );
+    // Batch-kernel crossover line, only when the tau-leap kernel ran.
+    let batches = v("engine.leap_batches");
+    if batches > 0 {
+        println!(
+            "batch kernel (last run): {batches} tau-leaps, {} exact fallbacks",
+            v("engine.batch_fallbacks")
+        );
+    }
     // Second line only when the last run captured traces.
     let effective = v("trace.records.effective");
     if effective > 0 {

@@ -134,6 +134,10 @@ pub enum KernelChoice {
     Naive,
     /// The leap kernel (identity interactions skipped in closed form).
     Leap,
+    /// The tau-leap batch kernel (bounded-error bulk firing in the giant-n
+    /// regime, exact-leap fallback near convergence; see
+    /// `pp_engine::batch` for the error model).
+    Batch,
 }
 
 impl KernelChoice {
@@ -150,6 +154,7 @@ impl KernelChoice {
         }
         match pp_analysis::config::kernel() {
             pp_analysis::config::KernelKnob::Naive => KernelChoice::Naive,
+            pp_analysis::config::KernelKnob::Batch => KernelChoice::Batch,
             pp_analysis::config::KernelKnob::Leap | pp_analysis::config::KernelKnob::Auto => {
                 KernelChoice::Leap
             }
@@ -161,6 +166,7 @@ impl KernelChoice {
         match self {
             KernelChoice::Naive => pp_analysis::runner::Kernel::Naive,
             KernelChoice::Leap => pp_analysis::runner::Kernel::Leap,
+            KernelChoice::Batch => pp_analysis::runner::Kernel::Batch,
         }
     }
 
@@ -168,6 +174,7 @@ impl KernelChoice {
         match self {
             KernelChoice::Naive => "naive",
             KernelChoice::Leap => "leap",
+            KernelChoice::Batch => "batch",
         }
     }
 }
@@ -206,7 +213,13 @@ pub struct CellSpec {
 /// v2: the simulation kernel joined the spec (and the key gained a
 /// `kernel=` fragment) — leap-kernel trial records are distribution-equal
 /// but not bit-equal to naive ones, so they must not alias.
-pub const KEY_VERSION: &str = "v2";
+///
+/// v3: the tau-leap batch kernel joined the kernel set. Batch trial
+/// records are bounded-error (not distribution-identical) relative to
+/// leap in the bulk, so the version bump retires every v2 cache entry
+/// rather than risking a naive/leap cell answering under semantics that
+/// now include a third kernel.
+pub const KEY_VERSION: &str = "v3";
 
 impl CellSpec {
     /// The canonical key: a stable, human-readable string that pins every
@@ -385,6 +398,7 @@ impl CellSpec {
             None => KernelChoice::auto_for(mode),
             Some("naive") => KernelChoice::Naive,
             Some("leap") => KernelChoice::Leap,
+            Some("batch") => KernelChoice::Batch,
             Some(other) => return Err(format!("unknown kernel '{other}'")),
         };
         let spec = CellSpec {
@@ -506,7 +520,7 @@ mod tests {
         let key = base.canonical_key();
         assert_eq!(
             key,
-            "v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
+            "v3|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
         );
         let variants = [
             CellSpec {
@@ -558,7 +572,7 @@ mod tests {
         let h = ukp_cell().content_hash();
         assert_eq!(h, fnv1a64(ukp_cell().canonical_key().as_bytes()));
         let expected = fnv1a64(
-            b"v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap",
+            b"v3|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap",
         );
         assert_eq!(h, expected);
     }

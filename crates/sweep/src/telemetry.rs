@@ -137,6 +137,8 @@ pub const CORE_ENGINE_COUNTERS: &[&str] = &[
     "engine.runs",
     "engine.interactions",
     "engine.effective_interactions",
+    "engine.leap_batches",
+    "engine.batch_fallbacks",
 ];
 
 /// Validate an exported snapshot: the core engine counters must be
@@ -260,6 +262,8 @@ mod tests {
 {\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"engine.interactions\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"engine.effective_interactions\",\"value\":0}\n\
+{\"kind\":\"counter\",\"name\":\"engine.leap_batches\",\"value\":0}\n\
+{\"kind\":\"counter\",\"name\":\"engine.batch_fallbacks\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"sweep.trials.simulated\",\"value\":7}\n";
         let snap = Snapshot::from_jsonl(text).unwrap();
         assert!(
@@ -271,6 +275,8 @@ mod tests {
 {\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"engine.interactions\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"engine.effective_interactions\",\"value\":0}\n\
+{\"kind\":\"counter\",\"name\":\"engine.leap_batches\",\"value\":0}\n\
+{\"kind\":\"counter\",\"name\":\"engine.batch_fallbacks\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"sweep.trials.simulated\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"sweep.cells.cache_hits\",\"value\":12}\n";
         let snap = Snapshot::from_jsonl(text).unwrap();
@@ -279,6 +285,8 @@ mod tests {
 {\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":5}\n\
 {\"kind\":\"counter\",\"name\":\"engine.interactions\",\"value\":100}\n\
 {\"kind\":\"counter\",\"name\":\"engine.effective_interactions\",\"value\":60}\n\
+{\"kind\":\"counter\",\"name\":\"engine.leap_batches\",\"value\":2}\n\
+{\"kind\":\"counter\",\"name\":\"engine.batch_fallbacks\",\"value\":1}\n\
 {\"kind\":\"counter\",\"name\":\"sweep.cells.completed\",\"value\":1}\n";
         let snap = Snapshot::from_jsonl(text).unwrap();
         assert!(validate_snapshot(&snap).is_ok());
@@ -290,6 +298,8 @@ mod tests {
 {\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":5}\n\
 {\"kind\":\"counter\",\"name\":\"engine.interactions\",\"value\":100}\n\
 {\"kind\":\"counter\",\"name\":\"engine.effective_interactions\",\"value\":60}\n\
+{\"kind\":\"counter\",\"name\":\"engine.leap_batches\",\"value\":0}\n\
+{\"kind\":\"counter\",\"name\":\"engine.batch_fallbacks\",\"value\":0}\n\
 {\"kind\":\"counter\",\"name\":\"sweep.cells.completed\",\"value\":1}\n";
         // More rule firings attributed than effective records traced.
         let text = format!(

@@ -94,6 +94,13 @@ fn record_trial0(spec: &CellSpec) -> Vec<u8> {
     let kernel = match spec.kernel {
         KernelChoice::Naive => TraceKernel::Naive,
         KernelChoice::Leap => TraceKernel::Leap,
+        // The batch kernel fires whole leaps in bulk and so has no
+        // interaction-granular event stream to record. Trace trial 0 of a
+        // batch cell on the exact leap kernel instead: the trace is then a
+        // faithful exact execution of the same cell seed, a diagnostic
+        // stand-in rather than a replay of the stored (bounded-error)
+        // batch trial.
+        KernelChoice::Batch => TraceKernel::Leap,
     };
     let mut pop = CountPopulation::new(&cell.proto, spec.n);
     let mut sched = UniformRandomScheduler::from_seed(seed);

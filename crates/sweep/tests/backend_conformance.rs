@@ -71,19 +71,19 @@ fn file_stems_and_content_hashes_are_pinned() {
         mode: CellMode::Summary,
         kernel: KernelChoice::Leap,
     };
-    assert_eq!(fig_cell.file_stem(), "ukp-k3-n40-ca9fe9efec6a3b40");
+    assert_eq!(fig_cell.file_stem(), "ukp-k3-n40-761460d4e2f1bf4f");
     assert_eq!(
         fig_cell.canonical_key(),
-        "v2|ukp:k=3|n=40|trials=100|seed=12345|crit=stable|budget=50000000|mode=summary|kernel=leap"
+        "v3|ukp:k=3|n=40|trials=100|seed=12345|crit=stable|budget=50000000|mode=summary|kernel=leap"
     );
-    assert_eq!(fig_cell.content_hash(), 0xca9fe9efec6a3b40);
+    assert_eq!(fig_cell.content_hash(), 0x761460d4e2f1bf4f);
 
     let basic = CellSpec {
         protocol: ProtocolId::BasicStrategy { k: 4 },
         n: 96,
         ..fig_cell.clone()
     };
-    assert_eq!(basic.file_stem(), "basic-k4-n96-ed3cde9ceb845dda");
+    assert_eq!(basic.file_stem(), "basic-k4-n96-be81c8c88411aa45");
 
     let small = CellSpec {
         protocol: ProtocolId::UniformKPartition { k: 2 },
@@ -93,7 +93,7 @@ fn file_stems_and_content_hashes_are_pinned() {
         budget: 1_000_000,
         ..fig_cell
     };
-    assert_eq!(small.file_stem(), "ukp-k2-n16-1eb72d8b303acd26");
+    assert_eq!(small.file_stem(), "ukp-k2-n16-d09df707bd965577");
 }
 
 #[test]
@@ -312,7 +312,7 @@ fn log_reopen_recovers_cells_and_truncates_torn_tail() {
         .append(true)
         .open(&path)
         .unwrap();
-    f.write_all(b"{\"t\":\"cell\",\"key\":\"v2|half").unwrap();
+    f.write_all(b"{\"t\":\"cell\",\"key\":\"v3|half").unwrap();
     drop(f);
     assert!(std::fs::metadata(&path).unwrap().len() > clean_len);
 

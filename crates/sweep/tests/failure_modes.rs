@@ -193,10 +193,10 @@ fn content_hash_is_stable_across_processes() {
     };
     assert_eq!(
         spec.canonical_key(),
-        "v2|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
+        "v3|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
     );
-    assert_eq!(spec.content_hash(), 0x4f6b_a54d_fe16_b0f0);
-    assert_eq!(spec.file_stem(), "ukp-k4-n96-4f6ba54dfe16b0f0");
+    assert_eq!(spec.content_hash(), 0xd8d8_21c3_3843_a521);
+    assert_eq!(spec.file_stem(), "ukp-k4-n96-d8d821c33843a521");
 }
 
 /// Watched-mode cells (richer records) resume identically too — the
