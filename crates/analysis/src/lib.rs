@@ -14,6 +14,7 @@
 //! independent of thread interleaving and bit-reproducible.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -6,6 +6,8 @@
 //! baselines`, so runs are cached, resumable, and parallel across cells.
 //! See that module for the comparison grid and CSV schema.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pp_sweep::cli::delegate("baselines");
 }

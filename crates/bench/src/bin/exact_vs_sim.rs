@@ -10,6 +10,8 @@
 //!
 //! Output: markdown table + `results/exact_vs_sim.csv`.
 
+#![forbid(unsafe_code)]
+
 use pp_analysis::experiments::kpartition_cell;
 use pp_analysis::table::{fmt_f64, Table};
 use pp_bench::common;

@@ -6,6 +6,8 @@
 //! parallel across cells. See that module for the cell grid and CSV
 //! schema.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pp_sweep::cli::delegate("fig6");
 }

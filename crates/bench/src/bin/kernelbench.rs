@@ -26,6 +26,8 @@
 //! committed file at the workspace root is generated with the default
 //! giant n = 10⁸.
 
+#![forbid(unsafe_code)]
+
 use pp_bench::kernelbench::{cell_json, measure, BenchKernel};
 use pp_protocols::kpartition::UniformKPartition;
 use pp_sweep::json::Value;

@@ -7,6 +7,8 @@
 //! re-renders from the store. See that module for the cell wiring and CSV
 //! schema.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pp_sweep::cli::delegate("trajectory");
 }

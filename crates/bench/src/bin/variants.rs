@@ -7,6 +7,8 @@
 //! so runs are cached, resumable, and parallel across cells. See that
 //! module for the cell grid and CSV schema.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pp_sweep::cli::delegate("variants");
 }

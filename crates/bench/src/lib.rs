@@ -6,6 +6,7 @@
 //! live under `benches/`.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 
 pub mod common;
 pub mod kernelbench;

@@ -70,6 +70,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod batch;

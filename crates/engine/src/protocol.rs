@@ -116,6 +116,23 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// One non-identity entry of the compiled rule table: the ordered pair,
+/// its result, and the labelled rule covering it (if any). Produced by
+/// [`CompiledProtocol::rule_entries`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleEntry {
+    /// First state of the ordered pair.
+    pub p: StateId,
+    /// Second state of the ordered pair.
+    pub q: StateId,
+    /// Result for the first agent.
+    pub p2: StateId,
+    /// Result for the second agent.
+    pub q2: StateId,
+    /// The labelled rule covering this pair, if any.
+    pub rule: Option<RuleId>,
+}
+
 /// A fully validated, dense-table population protocol.
 ///
 /// Construct via [`crate::spec::ProtocolSpec::compile`]. The table stores
@@ -336,16 +353,47 @@ impl CompiledProtocol {
     /// All ordered pairs `(p, q)` whose transition is *not* the identity,
     /// with their results. Useful for debugging and for the model checker.
     pub fn non_identity_rules(&self) -> Vec<(StateId, StateId, StateId, StateId)> {
-        let mut out = Vec::new();
-        for p in self.states() {
-            for q in self.states() {
-                if !self.is_identity(p, q) {
-                    let (p2, q2) = self.delta(p, q);
-                    out.push((p, q, p2, q2));
+        self.rule_entries()
+            .map(|e| (e.p, e.q, e.p2, e.q2))
+            .collect()
+    }
+
+    /// Iterator over the non-identity ordered pairs together with their
+    /// results and (optional) labelled rule ids — the rule table in the
+    /// form static analyzers consume (row-major pair order, so the output
+    /// is deterministic for a given protocol).
+    pub fn rule_entries(&self) -> impl Iterator<Item = RuleEntry> + '_ {
+        self.states().flat_map(move |p| {
+            self.states().filter_map(move |q| {
+                if self.is_identity(p, q) {
+                    return None;
                 }
-            }
-        }
-        out
+                let (p2, q2) = self.delta(p, q);
+                Some(RuleEntry {
+                    p,
+                    q,
+                    p2,
+                    q2,
+                    rule: self.rule_of(p, q),
+                })
+            })
+        })
+    }
+
+    /// The net state-count displacement of `δ(p, q)` as a dense integer
+    /// vector over `Q`: applying the transition to a configuration adds
+    /// `displacement(p, q)[s]` to the count of each state `s`. Identity
+    /// pairs (and e.g. swaps) yield the zero vector. This is one column
+    /// of the displacement matrix whose integer left-nullspace is the
+    /// protocol's space of linear (P-)invariants.
+    pub fn displacement(&self, p: StateId, q: StateId) -> Vec<i64> {
+        let mut d = vec![0i64; self.num_states()];
+        let (p2, q2) = self.delta(p, q);
+        d[p.index()] -= 1;
+        d[q.index()] -= 1;
+        d[p2.index()] += 1;
+        d[q2.index()] += 1;
+        d
     }
 
     /// Render the non-identity rules as `(p, q) -> (p', q')` lines.

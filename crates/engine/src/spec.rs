@@ -121,6 +121,45 @@ impl ProtocolSpec {
         self.state_names.len()
     }
 
+    /// The protocol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterator over the registered rules in registration order, as
+    /// `(p, q, p2, q2, label)`. Mirror registrations appear as separate
+    /// entries, exactly as they will be compiled.
+    pub fn rules(
+        &self,
+    ) -> impl Iterator<Item = (StateId, StateId, StateId, StateId, Option<&str>)> {
+        self.rules
+            .iter()
+            .zip(&self.rule_labels)
+            .map(|(&(p, q, p2, q2), label)| (p, q, p2, q2, label.as_deref()))
+    }
+
+    /// Keep only the rules for which `keep` returns true. The primary
+    /// consumer is protocol mutation (lint sensitivity tests, fault
+    /// injection): drop a mirror, delete a rule, then re-register a
+    /// perturbed version with [`Self::add_rule_labelled`].
+    pub fn retain_rules<F>(&mut self, mut keep: F)
+    where
+        F: FnMut(StateId, StateId, StateId, StateId, Option<&str>) -> bool,
+    {
+        let mut kept_labels = Vec::with_capacity(self.rule_labels.len());
+        let labels = std::mem::take(&mut self.rule_labels);
+        let mut li = labels.into_iter();
+        self.rules.retain(|&(p, q, p2, q2)| {
+            let label = li.next().expect("rules/labels kept parallel");
+            let keep_it = keep(p, q, p2, q2, label.as_deref());
+            if keep_it {
+                kept_labels.push(label);
+            }
+            keep_it
+        });
+        self.rule_labels = kept_labels;
+    }
+
     /// Validate and compile into a dense-table protocol.
     ///
     /// Every ordered pair without a rule defaults to the identity

@@ -1,0 +1,8 @@
+//! `pp-lint` binary: thin wrapper over [`pp_lint::cli::main_with_args`].
+
+#![deny(unsafe_code)]
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(pp_lint::cli::main_with_args(&args));
+}

@@ -1,0 +1,553 @@
+//! The lint pass: runs every check against a compiled protocol and an
+//! [`Expectations`] declaration, producing a [`LintReport`].
+//!
+//! Checks are *expectation-gated*: a protocol family declares what it
+//! promises (symmetric rule table, fully labelled rules, a state budget,
+//! conserved functionals), and pp-lint verifies exactly those promises
+//! plus the unconditional structural facts (reachability, group-map
+//! sanity, invariant extraction). This keeps the built-in zoo clean
+//! under `--deny warnings` without weakening the checks: the classics
+//! family legitimately ships asymmetric protocols, so it simply does not
+//! declare symmetry, while Algorithm 1 declares everything.
+
+use crate::findings::{Finding, FindingKind, LintReport, Severity};
+use crate::invariant::{self, Functional};
+use crate::reach;
+use pp_engine::protocol::{CompiledProtocol, StateId};
+
+/// What a protocol family promises; the lint pass verifies these.
+#[derive(Clone, Debug)]
+pub struct Expectations {
+    /// The rule table is mirror-closed and diagonal-symmetric (the
+    /// paper's protocol class). Enables the mirror checks.
+    pub symmetric: bool,
+    /// Every non-identity pair carries a rule label, and every label
+    /// covers at least one pair. Enables the label-coverage checks.
+    pub labelled: bool,
+    /// The exact label set the compiled protocol must carry (e.g.
+    /// Algorithm 1's applicable subset of `r1`..`r10`).
+    pub expected_labels: Option<Vec<String>>,
+    /// Upper bound on `|Q|` (the k-partition family's `3k − 2`).
+    pub state_budget: Option<usize>,
+    /// Executions start from *seeded* mixtures rather than the all-`s0`
+    /// configuration (the classics: epidemic, approximate majority), so
+    /// reachability-from-`s0` checks are meaningless and skipped.
+    pub seeded: bool,
+    /// Functionals the family claims are conserved by every rule
+    /// (e.g. the paper's Lemma 1 residuals). Each is checked both
+    /// inductively (per-rule drift) and against the derived basis span.
+    pub declared_invariants: Vec<Functional>,
+    /// Finding kinds to suppress for this protocol (documented
+    /// deviations; use sparingly).
+    pub allow: Vec<FindingKind>,
+}
+
+impl Default for Expectations {
+    /// The paper's default contract: symmetric, unlabelled, no budget.
+    fn default() -> Self {
+        Expectations {
+            symmetric: true,
+            labelled: false,
+            expected_labels: None,
+            state_budget: None,
+            seeded: false,
+            declared_invariants: Vec::new(),
+            allow: Vec::new(),
+        }
+    }
+}
+
+/// Cap on anchor lists so one systemic defect doesn't flood the report.
+const MAX_ANCHORS: usize = 8;
+
+/// Run all checks.
+pub fn lint(proto: &CompiledProtocol, expect: &Expectations) -> LintReport {
+    let mut findings: Vec<Finding> = Vec::new();
+    let basis = invariant::extract(proto);
+
+    findings.push(Finding::new(
+        Severity::Info,
+        FindingKind::InvariantBasis,
+        format!(
+            "derived {} independent linear invariant(s) from {} distinct rule displacement(s)",
+            basis.rank(),
+            basis.num_displacements
+        ),
+    ));
+
+    // Declared invariants: inductive conservation + span membership.
+    for inv in &expect.declared_invariants {
+        if inv.coeffs.len() != proto.num_states() {
+            findings.push(Finding::new(
+                Severity::Error,
+                FindingKind::InvariantNotImplied,
+                format!(
+                    "declared invariant '{}' has {} coefficients but the protocol has {} states",
+                    inv.name,
+                    inv.coeffs.len(),
+                    proto.num_states()
+                ),
+            ));
+            continue;
+        }
+        let violations = invariant::conservation_violations(proto, inv);
+        if !violations.is_empty() {
+            let mut f = Finding::new(
+                Severity::Error,
+                FindingKind::ConservationViolation,
+                format!(
+                    "declared invariant '{}' is not conserved: {} rule(s) drift it (first drift {:+})",
+                    inv.name,
+                    violations.len(),
+                    violations[0].2
+                ),
+            );
+            for &(p, q, _) in violations.iter().take(MAX_ANCHORS) {
+                f = f.with_pair(p, q);
+            }
+            findings.push(f);
+        }
+        if !basis.implies(inv) {
+            findings.push(Finding::new(
+                Severity::Error,
+                FindingKind::InvariantNotImplied,
+                format!(
+                    "declared invariant '{}' is outside the span of the derived invariant basis",
+                    inv.name
+                ),
+            ));
+        } else if violations.is_empty() {
+            findings.push(Finding::new(
+                Severity::Info,
+                FindingKind::InvariantCertified,
+                format!(
+                    "declared invariant '{}' is conserved by every rule and implied by the basis",
+                    inv.name
+                ),
+            ));
+        }
+    }
+
+    if expect.symmetric {
+        check_symmetry(proto, &mut findings);
+    }
+
+    // Reachability (skipped for seeded protocols, whose executions do
+    // not start from all-`s0`).
+    let summary = reach::analyze(proto);
+    let unreachable = summary.unreachable_states(proto);
+    if !expect.seeded && !unreachable.is_empty() {
+        let shown: Vec<StateId> = unreachable.iter().copied().take(MAX_ANCHORS).collect();
+        findings.push(
+            Finding::new(
+                Severity::Warning,
+                FindingKind::UnreachableState,
+                format!(
+                    "{} state(s) unreachable from all-'{}' configurations",
+                    unreachable.len(),
+                    proto.state_name(proto.initial_state())
+                ),
+            )
+            .with_states(shown),
+        );
+    }
+    if !expect.seeded && !summary.dead_pairs.is_empty() {
+        let mut f = Finding::new(
+            Severity::Warning,
+            FindingKind::DeadRule,
+            format!(
+                "{} rule-table pair(s) can never fire (an endpoint is unreachable)",
+                summary.dead_pairs.len()
+            ),
+        );
+        for &(p, q) in summary.dead_pairs.iter().take(MAX_ANCHORS) {
+            f = f.with_pair(p, q);
+        }
+        findings.push(f);
+    }
+
+    // Group-map sanity (emptiness is unconditional; group reachability
+    // is gated like the other reachability checks).
+    check_groups(proto, &summary, expect.seeded, &mut findings);
+
+    if expect.labelled {
+        check_labels(proto, expect, &mut findings);
+    }
+
+    if let Some(budget) = expect.state_budget {
+        if proto.num_states() > budget {
+            findings.push(Finding::new(
+                Severity::Warning,
+                FindingKind::StateBudgetExceeded,
+                format!(
+                    "|Q| = {} exceeds the declared budget of {}",
+                    proto.num_states(),
+                    budget
+                ),
+            ));
+        }
+    }
+
+    findings.retain(|f| !expect.allow.contains(&f.kind));
+
+    LintReport {
+        protocol: proto.name().to_string(),
+        num_states: proto.num_states(),
+        num_groups: proto.num_groups(),
+        num_rule_pairs: proto.rule_entries().count(),
+        invariants: basis,
+        findings,
+    }
+}
+
+/// Mirror closure and diagonal symmetry for declared-symmetric protocols.
+fn check_symmetry(proto: &CompiledProtocol, findings: &mut Vec<Finding>) {
+    if !proto.is_symmetric() {
+        let mut f = Finding::new(
+            Severity::Error,
+            FindingKind::AsymmetricDiagonal,
+            "declared symmetric, but some δ(p, p) = (p', q') has p' ≠ q'".to_string(),
+        );
+        let mut shown = 0;
+        for p in proto.states() {
+            let (p2, q2) = proto.delta(p, p);
+            if p2 != q2 && shown < MAX_ANCHORS {
+                f = f.with_pair(p, p);
+                shown += 1;
+            }
+        }
+        findings.push(f);
+    }
+
+    let mut missing: Vec<(StateId, StateId)> = Vec::new();
+    let mut inconsistent: Vec<(StateId, StateId)> = Vec::new();
+    for p in proto.states() {
+        for q in proto.states() {
+            if q <= p {
+                continue;
+            }
+            // One unordered pair {p, q}, both orders. The anchor of a
+            // missing mirror is the *identity* order — the cell where
+            // the registration is absent.
+            match (proto.is_identity(p, q), proto.is_identity(q, p)) {
+                (true, true) => {}
+                (false, true) => missing.push((q, p)),
+                (true, false) => missing.push((p, q)),
+                (false, false) => {
+                    let (p2, q2) = proto.delta(p, q);
+                    if proto.delta(q, p) != (q2, p2) {
+                        inconsistent.push((p, q));
+                    }
+                }
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let mut f = Finding::new(
+            Severity::Error,
+            FindingKind::MissingMirror,
+            format!(
+                "{} ordered pair(s) are identity while their mirror is a rule — the two interaction orders disagree",
+                missing.len()
+            ),
+        );
+        for &(p, q) in missing.iter().take(MAX_ANCHORS) {
+            f = f.with_pair(p, q);
+        }
+        findings.push(f);
+    }
+    if !inconsistent.is_empty() {
+        let mut f = Finding::new(
+            Severity::Error,
+            FindingKind::InconsistentMirror,
+            format!(
+                "{} unordered pair(s) whose two orders produce non-mirrored results",
+                inconsistent.len()
+            ),
+        );
+        for &(p, q) in inconsistent.iter().take(MAX_ANCHORS) {
+            f = f.with_pair(p, q);
+        }
+        findings.push(f);
+    }
+}
+
+/// Every group in `1..=num_groups` must have a state; groups whose every
+/// state is unreachable can never receive an agent.
+fn check_groups(
+    proto: &CompiledProtocol,
+    summary: &reach::ReachSummary,
+    seeded: bool,
+    findings: &mut Vec<Finding>,
+) {
+    for g in 1..=proto.num_groups() {
+        let members: Vec<StateId> = proto
+            .states()
+            .filter(|&s| proto.group_of(s).number() == g)
+            .collect();
+        if members.is_empty() {
+            findings.push(Finding::new(
+                Severity::Error,
+                FindingKind::EmptyGroup,
+                format!("group {g} has no state mapped to it"),
+            ));
+        } else if !seeded && members.iter().all(|s| !summary.reachable[s.index()]) {
+            findings.push(
+                Finding::new(
+                    Severity::Error,
+                    FindingKind::UnreachableGroup,
+                    format!("every state of group {g} is unreachable — no agent can output it"),
+                )
+                .with_states(members.into_iter().take(MAX_ANCHORS)),
+            );
+        }
+    }
+}
+
+/// Rule-label coverage for declared-labelled protocols.
+fn check_labels(proto: &CompiledProtocol, expect: &Expectations, findings: &mut Vec<Finding>) {
+    let unlabelled: Vec<(StateId, StateId)> = proto
+        .rule_entries()
+        .filter(|e| e.rule.is_none())
+        .map(|e| (e.p, e.q))
+        .collect();
+    if !unlabelled.is_empty() {
+        let mut f = Finding::new(
+            Severity::Warning,
+            FindingKind::UnlabelledRule,
+            format!(
+                "{} non-identity pair(s) carry no rule label — their firings are invisible to per-rule telemetry",
+                unlabelled.len()
+            ),
+        );
+        for &(p, q) in unlabelled.iter().take(MAX_ANCHORS) {
+            f = f.with_pair(p, q);
+        }
+        findings.push(f);
+    }
+
+    let mut covered = vec![false; proto.num_rules()];
+    for e in proto.rule_entries() {
+        if let Some(r) = e.rule {
+            covered[r.index()] = true;
+        }
+    }
+    for (i, c) in covered.iter().enumerate() {
+        if !c {
+            findings.push(Finding::new(
+                Severity::Warning,
+                FindingKind::OrphanRuleLabel,
+                format!(
+                    "rule label '{}' covers no pair — it can never fire",
+                    proto.rule_names()[i]
+                ),
+            ));
+        }
+    }
+
+    if let Some(expected) = &expect.expected_labels {
+        let mut have: Vec<&str> = proto.rule_names().iter().map(String::as_str).collect();
+        let mut want: Vec<&str> = expected.iter().map(String::as_str).collect();
+        have.sort_unstable();
+        want.sort_unstable();
+        if have != want {
+            findings.push(Finding::new(
+                Severity::Warning,
+                FindingKind::UnexpectedRuleLabels,
+                format!(
+                    "compiled labels {{{}}} differ from expected {{{}}}",
+                    have.join(", "),
+                    want.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::spec::ProtocolSpec;
+
+    /// A clean symmetric fixture: `(a, a) → (b, b)`, `(b, b) → (a, a)`.
+    /// Both states reachable from all-`a`; conserves only the total.
+    fn flip() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("flip");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        spec.add_rule(b, b, a, a);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn clean_protocol_reports_only_info() {
+        let report = lint(&flip(), &Expectations::default());
+        assert_eq!(report.max_severity(), Some(Severity::Info));
+        assert!(report.has(FindingKind::InvariantBasis));
+        assert!(!report.deny());
+    }
+
+    #[test]
+    fn certified_invariant_reported() {
+        let mut expect = Expectations::default();
+        expect
+            .declared_invariants
+            .push(Functional::new("total", vec![1, 1]));
+        let report = lint(&flip(), &expect);
+        assert!(report.has(FindingKind::InvariantCertified));
+        assert!(!report.has(FindingKind::ConservationViolation));
+    }
+
+    #[test]
+    fn broken_invariant_flagged_with_anchor() {
+        let mut expect = Expectations::default();
+        expect
+            .declared_invariants
+            .push(Functional::new("susceptible", vec![1, 0]));
+        let report = lint(&flip(), &expect);
+        assert!(report.deny());
+        assert!(report.has(FindingKind::ConservationViolation));
+        assert!(report.has(FindingKind::InvariantNotImplied));
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::ConservationViolation)
+            .unwrap();
+        assert!(!f.pairs.is_empty());
+    }
+
+    #[test]
+    fn missing_mirror_flagged() {
+        let mut spec = ProtocolSpec::new("halfrule");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, b, b, b); // no mirror registered
+        let proto = spec.compile().unwrap();
+        let report = lint(&proto, &Expectations::default());
+        assert!(report.has(FindingKind::MissingMirror));
+        assert!(report.deny());
+        // An asymmetric family that does not declare symmetry is clean.
+        let expect = Expectations {
+            symmetric: false,
+            ..Expectations::default()
+        };
+        let report = lint(&proto, &expect);
+        assert!(!report.has(FindingKind::MissingMirror));
+    }
+
+    #[test]
+    fn inconsistent_mirror_flagged() {
+        let mut spec = ProtocolSpec::new("twisted");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        let c = spec.add_state("c", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, b, c, c);
+        spec.add_rule(b, a, b, c); // not the mirror of (a, b) → (c, c)
+        let proto = spec.compile().unwrap();
+        let report = lint(&proto, &Expectations::default());
+        assert!(report.has(FindingKind::InconsistentMirror));
+    }
+
+    #[test]
+    fn asymmetric_diagonal_flagged_only_when_declared() {
+        let mut spec = ProtocolSpec::new("leader");
+        let l = spec.add_state("L", 1);
+        let f = spec.add_state("F", 2);
+        spec.set_initial(l);
+        spec.add_rule(l, l, l, f);
+        let proto = spec.compile().unwrap();
+        let report = lint(&proto, &Expectations::default());
+        assert!(report.has(FindingKind::AsymmetricDiagonal));
+        let expect = Expectations {
+            symmetric: false,
+            ..Expectations::default()
+        };
+        assert!(!lint(&proto, &expect).has(FindingKind::AsymmetricDiagonal));
+    }
+
+    #[test]
+    fn unreachable_state_and_dead_rule_flagged() {
+        let mut spec = ProtocolSpec::new("zombie");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let z = spec.add_state("z", 1);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(a, a, a, b);
+        spec.add_rule_symmetric(z, b, z, z);
+        let proto = spec.compile().unwrap();
+        let report = lint(&proto, &Expectations::default());
+        assert!(report.has(FindingKind::UnreachableState));
+        assert!(report.has(FindingKind::DeadRule));
+        let _ = z;
+    }
+
+    #[test]
+    fn empty_and_unreachable_groups_flagged() {
+        // Groups 1 and 3 populated, group 2 empty; group 3's only state
+        // is unreachable.
+        let mut spec = ProtocolSpec::new("gaps");
+        let a = spec.add_state("a", 1);
+        let z = spec.add_state("z", 3);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(z, z, z, a);
+        let proto = spec.compile().unwrap();
+        let report = lint(&proto, &Expectations::default());
+        assert!(report.has(FindingKind::EmptyGroup));
+        assert!(report.has(FindingKind::UnreachableGroup));
+    }
+
+    #[test]
+    fn label_coverage_checks() {
+        let mut spec = ProtocolSpec::new("labels");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric_labelled(a, a, a, b, "r1");
+        spec.add_rule_symmetric(b, b, b, a); // unlabelled
+        let proto = spec.compile().unwrap();
+        let expect = Expectations {
+            labelled: true,
+            expected_labels: Some(vec!["r1".into(), "r2".into()]),
+            ..Expectations::default()
+        };
+        let report = lint(&proto, &expect);
+        assert!(report.has(FindingKind::UnlabelledRule));
+        assert!(report.has(FindingKind::UnexpectedRuleLabels));
+        assert!(!report.has(FindingKind::OrphanRuleLabel));
+    }
+
+    #[test]
+    fn state_budget_check() {
+        let proto = flip();
+        let expect = Expectations {
+            state_budget: Some(1),
+            ..Expectations::default()
+        };
+        assert!(lint(&proto, &expect).has(FindingKind::StateBudgetExceeded));
+        let expect = Expectations {
+            state_budget: Some(2),
+            ..Expectations::default()
+        };
+        assert!(!lint(&proto, &expect).has(FindingKind::StateBudgetExceeded));
+    }
+
+    #[test]
+    fn allow_list_suppresses() {
+        let mut spec = ProtocolSpec::new("halfrule");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, b, b, b);
+        let proto = spec.compile().unwrap();
+        let expect = Expectations {
+            allow: vec![FindingKind::MissingMirror],
+            ..Expectations::default()
+        };
+        assert!(!lint(&proto, &expect).has(FindingKind::MissingMirror));
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,280 @@
+//! The findings model: what a lint run reports and how it serialises.
+//!
+//! A [`Finding`] is one diagnosed fact about a protocol — a severity, a
+//! machine-readable [`FindingKind`], a human message, and anchors (the
+//! states and ordered pairs the fact is about, by id and name, so both
+//! humans and tools can locate it in the rule table). A [`LintReport`]
+//! is the full result of linting one protocol: findings plus the derived
+//! invariant summary, renderable as text or JSON.
+
+use crate::invariant::InvariantBasis;
+use pp_engine::protocol::{CompiledProtocol, StateId};
+use pp_telemetry::json::Value;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings mean the protocol is structurally broken (a declared
+/// invariant is not conserved, a group is empty, …) and gate execution:
+/// `pp-sweep run` refuses to simulate a plan whose protocol has any.
+/// `Warning` findings are suspicious but runnable; `Info` findings are
+/// derived facts (e.g. the invariant basis rank) with no judgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A derived fact, not a defect.
+    Info,
+    /// Suspicious structure; simulation still meaningful.
+    Warning,
+    /// Structurally broken; execution is gated on these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Machine-readable finding kinds — the lint taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A declared invariant is not conserved by some rule (anchored at
+    /// the violating ordered pair).
+    ConservationViolation,
+    /// A declared invariant is not in the span of the derived P-invariant
+    /// basis (should accompany a `ConservationViolation`; kept separate
+    /// because the span check is how the basis machinery is validated).
+    InvariantNotImplied,
+    /// A non-identity ordered pair `(p, q)` whose mirror `(q, p)` is the
+    /// identity — a symmetric-by-declaration protocol with a missing
+    /// mirror registration.
+    MissingMirror,
+    /// A non-identity pair whose mirror produces a different (non-swapped)
+    /// result — the two orders of one unordered interaction disagree.
+    InconsistentMirror,
+    /// `δ(p, p) = (a, b)` with `a ≠ b` in a protocol declared symmetric.
+    AsymmetricDiagonal,
+    /// A state no configuration reachable from all-`s0` can ever contain
+    /// (by the sound support-abstraction; see [`crate::reach`]).
+    UnreachableState,
+    /// A non-identity rule whose ordered pair can never co-occur in any
+    /// reachable configuration — dead code in the rule table.
+    DeadRule,
+    /// A non-identity pair carrying no rule label in a protocol declared
+    /// fully labelled (trace classification and per-rule telemetry would
+    /// silently drop its firings).
+    UnlabelledRule,
+    /// A compiled rule label covering no pair (a labelled registration
+    /// was overwritten); classifiers would report a rule that can never
+    /// fire.
+    OrphanRuleLabel,
+    /// The compiled label set differs from the protocol family's expected
+    /// labels (e.g. Algorithm 1's `r1`..`r10`).
+    UnexpectedRuleLabels,
+    /// A group in `1..=num_groups` with no state mapped to it — the
+    /// output map can never place an agent there.
+    EmptyGroup,
+    /// A group whose states are all unreachable: structurally present
+    /// but no agent can ever output it.
+    UnreachableGroup,
+    /// The state count exceeds the declared budget (the k-partition
+    /// family's `3k − 2`).
+    StateBudgetExceeded,
+    /// Derived fact: the P-invariant basis (rank, dimensions).
+    InvariantBasis,
+    /// Derived fact: a declared invariant was proven inductively (it is
+    /// conserved by every rule) and lies in the basis span.
+    InvariantCertified,
+}
+
+impl FindingKind {
+    /// The kebab-case identifier used in JSON output and CLI filters.
+    pub fn id(self) -> &'static str {
+        match self {
+            FindingKind::ConservationViolation => "conservation-violation",
+            FindingKind::InvariantNotImplied => "invariant-not-implied",
+            FindingKind::MissingMirror => "missing-mirror",
+            FindingKind::InconsistentMirror => "inconsistent-mirror",
+            FindingKind::AsymmetricDiagonal => "asymmetric-diagonal",
+            FindingKind::UnreachableState => "unreachable-state",
+            FindingKind::DeadRule => "dead-rule",
+            FindingKind::UnlabelledRule => "unlabelled-rule",
+            FindingKind::OrphanRuleLabel => "orphan-rule-label",
+            FindingKind::UnexpectedRuleLabels => "unexpected-rule-labels",
+            FindingKind::EmptyGroup => "empty-group",
+            FindingKind::UnreachableGroup => "unreachable-group",
+            FindingKind::StateBudgetExceeded => "state-budget-exceeded",
+            FindingKind::InvariantBasis => "invariant-basis",
+            FindingKind::InvariantCertified => "invariant-certified",
+        }
+    }
+}
+
+/// One diagnosed fact about a protocol.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Machine-readable kind.
+    pub kind: FindingKind,
+    /// Human-readable description.
+    pub message: String,
+    /// States the finding is about (may be empty).
+    pub states: Vec<StateId>,
+    /// Ordered pairs (rule-table cells) the finding is about.
+    pub pairs: Vec<(StateId, StateId)>,
+}
+
+impl Finding {
+    pub(crate) fn new(severity: Severity, kind: FindingKind, message: impl Into<String>) -> Self {
+        Finding {
+            severity,
+            kind,
+            message: message.into(),
+            states: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_states(mut self, states: impl IntoIterator<Item = StateId>) -> Self {
+        self.states.extend(states);
+        self
+    }
+
+    pub(crate) fn with_pair(mut self, p: StateId, q: StateId) -> Self {
+        self.pairs.push((p, q));
+        self
+    }
+}
+
+/// The result of linting one protocol.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Protocol name (from the compiled protocol).
+    pub protocol: String,
+    /// `|Q|`.
+    pub num_states: usize,
+    /// Number of groups in the output map.
+    pub num_groups: usize,
+    /// Count of non-identity ordered pairs in the rule table.
+    pub num_rule_pairs: usize,
+    /// The derived integer P-invariant basis.
+    pub invariants: InvariantBasis,
+    /// All findings, in check order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// The worst severity present, or `None` for a finding-free report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity == severity)
+    }
+
+    /// Whether the report contains a finding of `kind`.
+    pub fn has(&self, kind: FindingKind) -> bool {
+        self.findings.iter().any(|f| f.kind == kind)
+    }
+
+    /// Whether execution should be refused (any `Error` finding).
+    pub fn deny(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// Render as JSON (the `pp-lint --format json` schema).
+    pub fn to_json(&self, proto: &CompiledProtocol) -> Value {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let states: Vec<Value> = f
+                    .states
+                    .iter()
+                    .map(|s| Value::Str(proto.state_name(*s).to_string()))
+                    .collect();
+                let pairs: Vec<Value> = f
+                    .pairs
+                    .iter()
+                    .map(|(p, q)| {
+                        Value::Arr(vec![
+                            Value::Str(proto.state_name(*p).to_string()),
+                            Value::Str(proto.state_name(*q).to_string()),
+                        ])
+                    })
+                    .collect();
+                Value::obj([
+                    ("severity", Value::Str(f.severity.to_string())),
+                    ("kind", Value::Str(f.kind.id().to_string())),
+                    ("message", Value::Str(f.message.clone())),
+                    ("states", Value::Arr(states)),
+                    ("pairs", Value::Arr(pairs)),
+                ])
+            })
+            .collect();
+        let basis: Vec<Value> = self
+            .invariants
+            .basis
+            .iter()
+            .map(|v| Value::Arr(v.coeffs.iter().map(|&c| Value::I64(c)).collect()))
+            .collect();
+        Value::obj([
+            ("protocol", Value::Str(self.protocol.clone())),
+            ("num_states", Value::U64(self.num_states as u64)),
+            ("num_groups", Value::U64(self.num_groups as u64)),
+            ("num_rule_pairs", Value::U64(self.num_rule_pairs as u64)),
+            ("invariant_rank", Value::U64(self.invariants.rank() as u64)),
+            ("invariant_basis", Value::Arr(basis)),
+            ("findings", Value::Arr(findings)),
+        ])
+    }
+
+    /// Render as human-readable text.
+    pub fn render_text(&self, proto: &CompiledProtocol) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: |Q| = {}, {} groups, {} rule pairs, invariant rank {}",
+            self.protocol,
+            self.num_states,
+            self.num_groups,
+            self.num_rule_pairs,
+            self.invariants.rank()
+        );
+        for f in &self.findings {
+            let mut anchors = String::new();
+            if !f.states.is_empty() {
+                let names: Vec<&str> = f.states.iter().map(|s| proto.state_name(*s)).collect();
+                anchors.push_str(&format!(" [states: {}]", names.join(", ")));
+            }
+            if !f.pairs.is_empty() {
+                let cells: Vec<String> = f
+                    .pairs
+                    .iter()
+                    .map(|(p, q)| format!("({}, {})", proto.state_name(*p), proto.state_name(*q)))
+                    .collect();
+                anchors.push_str(&format!(" [pairs: {}]", cells.join(", ")));
+            }
+            let _ = writeln!(
+                out,
+                "  {}: {}: {}{}",
+                f.severity,
+                f.kind.id(),
+                f.message,
+                anchors
+            );
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "  clean");
+        }
+        out
+    }
+}

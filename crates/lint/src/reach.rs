@@ -1,0 +1,150 @@
+//! Abstract reachability over state *support*.
+//!
+//! Instead of exploring count vectors (exponential in `n`), track only
+//! which states *can* appear in some reachable configuration for some
+//! population size. Start from `S = {s0}` and close under the rule
+//! table: whenever `p, q ∈ S` (including `p = q` — two agents can share
+//! a state) and `δ(p, q) = (p', q')`, add `p'` and `q'`.
+//!
+//! The fixpoint is a sound over-approximation of the union of supports
+//! of reachable configurations: every state that actually occurs in a
+//! reachable configuration is in `S`, because the concrete firing that
+//! first produces it is also an abstract closure step. Hence a state
+//! *outside* the fixpoint is genuinely unreachable, and a rule whose
+//! ordered pair never becomes abstractly co-enabled is genuinely dead —
+//! the directions pp-lint reports. (The converse does not hold: `p = q`
+//! closure steps assume two agents can share state `p`, which a
+//! population of size 1 in `p` cannot realise. Over-approximation means
+//! reported `UnreachableState`/`DeadRule` findings are never false
+//! positives, at the cost of possibly missing some.)
+
+use pp_engine::protocol::{CompiledProtocol, StateId};
+
+/// Result of the support-abstraction fixpoint.
+#[derive(Debug)]
+pub struct ReachSummary {
+    /// `reachable[s]` — whether state `s` is in the fixpoint support.
+    pub reachable: Vec<bool>,
+    /// Non-identity ordered pairs `(p, q)` with `p, q` both reachable —
+    /// the rules that can (abstractly) fire.
+    pub live_pairs: Vec<(StateId, StateId)>,
+    /// Non-identity ordered pairs where `p` or `q` is unreachable —
+    /// dead entries in the rule table.
+    pub dead_pairs: Vec<(StateId, StateId)>,
+}
+
+impl ReachSummary {
+    /// States outside the fixpoint, in id order.
+    pub fn unreachable_states(&self, proto: &CompiledProtocol) -> Vec<StateId> {
+        proto
+            .states()
+            .filter(|s| !self.reachable[s.index()])
+            .collect()
+    }
+}
+
+/// Run the support fixpoint from the protocol's initial state.
+pub fn analyze(proto: &CompiledProtocol) -> ReachSummary {
+    let n = proto.num_states();
+    let mut reachable = vec![false; n];
+    reachable[proto.initial_state().index()] = true;
+
+    // Chaotic iteration: re-scan the rule table until no support grows.
+    // |Q| is small (3k − 2 for the paper's protocol), so the O(|Q|³)
+    // worst case is irrelevant.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in proto.states() {
+            if !reachable[p.index()] {
+                continue;
+            }
+            for q in proto.states() {
+                if !reachable[q.index()] {
+                    continue;
+                }
+                let (p2, q2) = proto.delta(p, q);
+                if !reachable[p2.index()] {
+                    reachable[p2.index()] = true;
+                    changed = true;
+                }
+                if !reachable[q2.index()] {
+                    reachable[q2.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut live_pairs = Vec::new();
+    let mut dead_pairs = Vec::new();
+    for e in proto.rule_entries() {
+        if reachable[e.p.index()] && reachable[e.q.index()] {
+            live_pairs.push((e.p, e.q));
+        } else {
+            dead_pairs.push((e.p, e.q));
+        }
+    }
+
+    ReachSummary {
+        reachable,
+        live_pairs,
+        dead_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::spec::ProtocolSpec;
+
+    #[test]
+    fn chain_is_fully_reachable() {
+        // a → b → c via interactions with the initial state.
+        let mut spec = ProtocolSpec::new("chain");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let c = spec.add_state("c", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(a, a, a, b);
+        spec.add_rule_symmetric(a, b, a, c);
+        let p = spec.compile().unwrap();
+        let r = analyze(&p);
+        assert!(r.unreachable_states(&p).is_empty());
+        assert!(r.dead_pairs.is_empty());
+        let _ = (a, b, c);
+    }
+
+    #[test]
+    fn zombie_state_and_rule_detected() {
+        let mut spec = ProtocolSpec::new("zombie");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 1);
+        let z = spec.add_state("z", 2);
+        spec.set_initial(a);
+        spec.add_rule_symmetric(a, a, a, b);
+        // z is produced only from z — never from the reachable support.
+        spec.add_rule_symmetric(z, b, z, z);
+        let p = spec.compile().unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.unreachable_states(&p), vec![z]);
+        // Both orders of the (z, b) rule are dead.
+        assert_eq!(r.dead_pairs.len(), 2);
+        assert!(r.dead_pairs.iter().all(|&(x, y)| x == z || y == z));
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn diagonal_closure_uses_two_agents_in_same_state() {
+        // b is only produced by (a, a) — requires the p = q closure step.
+        let mut spec = ProtocolSpec::new("diag");
+        let a = spec.add_state("a", 1);
+        let b = spec.add_state("b", 2);
+        spec.set_initial(a);
+        spec.add_rule(a, a, b, b);
+        let p = spec.compile().unwrap();
+        let r = analyze(&p);
+        assert!(r.reachable[b.index()]);
+        assert!(r.unreachable_states(&p).is_empty());
+    }
+}

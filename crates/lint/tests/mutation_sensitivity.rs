@@ -1,0 +1,224 @@
+//! Mutation sensitivity: every class of protocol defect pp-lint claims
+//! to catch is injected into the paper's protocol (and relatives), and
+//! the lint pass must flag it with the expected finding kind.
+//!
+//! Mutations are built from the pristine `ProtocolSpec` via
+//! `retain_rules` (drop an order, drop a rule) plus re-registration of a
+//! perturbed replacement — the same machinery a fault-injection harness
+//! would use — so each mutant differs from the original by exactly the
+//! defect under test.
+
+use pp_engine::protocol::CompiledProtocol;
+use pp_engine::spec::ProtocolSpec;
+use pp_lint::registry;
+use pp_lint::{lint, Expectations, FindingKind};
+use pp_protocols::kpartition::UniformKPartition;
+
+/// Lint a mutated k-partition spec under the family's full contract.
+fn lint_ukp_mutant(k: usize, proto: &CompiledProtocol) -> pp_lint::LintReport {
+    let expect = registry::ukp(k).expect;
+    lint(proto, &expect)
+}
+
+fn ukp_spec(k: usize) -> (UniformKPartition, ProtocolSpec) {
+    let kp = UniformKPartition::new(k);
+    (kp, kp.spec())
+}
+
+#[test]
+fn pristine_protocol_is_clean() {
+    for k in [2, 3, 4, 5] {
+        let entry = registry::ukp(k);
+        let report = lint(&entry.proto, &entry.expect);
+        assert!(
+            report.max_severity() <= Some(pp_lint::Severity::Info),
+            "pristine ukp-k{k} not clean:\n{}",
+            report.render_text(&entry.proto)
+        );
+    }
+}
+
+/// Mutation 1 — drop one order of the symmetric rule 5. The surviving
+/// order makes the two interaction orders disagree.
+#[test]
+fn dropped_mirror_is_flagged() {
+    let (kp, mut spec) = ukp_spec(4);
+    let (ini, inip) = (kp.initial(), kp.initial_prime());
+    let mut dropped = false;
+    spec.retain_rules(|p, q, _, _, label| {
+        let hit = !dropped && label == Some("r5") && p == inip && q == ini;
+        if hit {
+            dropped = true;
+        }
+        !hit
+    });
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::MissingMirror),
+        "missing mirror not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    assert!(report.deny(), "mirror defects must gate execution");
+}
+
+/// Mutation 2 — relabel rule 10. The compiled label set no longer
+/// matches Algorithm 1's.
+#[test]
+fn relabelled_rule_is_flagged() {
+    let (kp, mut spec) = ukp_spec(4);
+    let mut saved = Vec::new();
+    spec.retain_rules(|p, q, p2, q2, label| {
+        if label == Some("r10") {
+            saved.push((p, q, p2, q2));
+            return false;
+        }
+        true
+    });
+    assert!(!saved.is_empty());
+    for (p, q, p2, q2) in saved {
+        spec.add_rule_labelled(p, q, p2, q2, "r99");
+    }
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::UnexpectedRuleLabels),
+        "relabel not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    let _ = kp;
+}
+
+/// Mutation 3 — break conservation: rule 10 releases `(g_1, initial)`
+/// instead of `(initial, initial)`, silently leaking an extra settled
+/// g1-agent. The declared Lemma 1 residuals drift and the lint pass
+/// pinpoints the offending pair.
+#[test]
+fn broken_conservation_is_flagged_with_anchor() {
+    let (kp, mut spec) = ukp_spec(4);
+    spec.retain_rules(|_, _, _, _, label| label != Some("r10"));
+    let (d1, g1, ini) = (kp.d(1), kp.g(1), kp.initial());
+    spec.add_rule_symmetric_labelled(d1, g1, g1, ini, "r10");
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::ConservationViolation),
+        "conservation break not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    assert!(report.deny());
+    let violation = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ConservationViolation)
+        .unwrap();
+    assert!(
+        violation.pairs.contains(&(d1, g1)) || violation.pairs.contains(&(g1, d1)),
+        "violation not anchored at the mutated rule: {:?}",
+        violation.pairs
+    );
+}
+
+/// Mutation 4 — graft a zombie state reachable from nowhere, plus a rule
+/// that only it can fire.
+#[test]
+fn unreachable_state_and_dead_rule_are_flagged() {
+    let (kp, mut spec) = ukp_spec(4);
+    let z = spec.add_state("zombie", 1);
+    spec.add_rule_symmetric(z, kp.g(1), z, z);
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::UnreachableState),
+        "zombie state not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    assert!(report.has(FindingKind::DeadRule));
+    // The grafted state also blows the 3k − 2 budget.
+    assert!(report.has(FindingKind::StateBudgetExceeded));
+}
+
+/// Mutation 5 — break diagonal symmetry: rule 1 splits two identical
+/// initial agents into different states, leaving the protocol class the
+/// paper restricts itself to.
+#[test]
+fn asymmetric_diagonal_is_flagged() {
+    let (kp, mut spec) = ukp_spec(4);
+    spec.retain_rules(|_, _, _, _, label| label != Some("r1"));
+    spec.add_rule_labelled(
+        kp.initial(),
+        kp.initial(),
+        kp.initial(),
+        kp.initial_prime(),
+        "r1",
+    );
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::AsymmetricDiagonal),
+        "asymmetric diagonal not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    assert!(report.deny());
+}
+
+/// Mutation 6 — orphan a label: register rule 3's pairs twice, the
+/// second time under a fresh label, so the original label covers no
+/// pair. (Later labelled registrations for a pair overwrite earlier
+/// labels; the transitions themselves agree, so the spec compiles.)
+#[test]
+fn orphan_label_is_flagged() {
+    let (kp, mut spec) = ukp_spec(4);
+    let mut r3 = Vec::new();
+    spec.retain_rules(|p, q, p2, q2, label| {
+        if label == Some("r3") {
+            r3.push((p, q, p2, q2));
+        }
+        true
+    });
+    assert!(!r3.is_empty());
+    for (p, q, p2, q2) in r3 {
+        spec.add_rule_labelled(p, q, p2, q2, "r3-shadow");
+    }
+    let proto = spec.compile().expect("agreeing duplicates compile");
+    let report = lint_ukp_mutant(4, &proto);
+    assert!(
+        report.has(FindingKind::OrphanRuleLabel),
+        "orphaned label not flagged:\n{}",
+        report.render_text(&proto)
+    );
+    assert!(report.has(FindingKind::UnexpectedRuleLabels));
+    let _ = kp;
+}
+
+/// The mutations above also fool the ablation/bipartition contracts when
+/// applied there: dropping the bipartition's mirror is caught under its
+/// (weaker, unlabelled) expectations too.
+#[test]
+fn bipartition_dropped_mirror_is_flagged() {
+    use pp_protocols::bipartition::UniformBipartition;
+    let bp = UniformBipartition::new();
+    let mut spec = bp.spec();
+    let mut dropped = false;
+    spec.retain_rules(|p, q, _, _, _| {
+        // Drop the first off-diagonal order encountered.
+        let hit = !dropped && p != q;
+        if hit {
+            dropped = true;
+        }
+        !hit
+    });
+    let proto = spec.compile().expect("mutant still compiles");
+    let report = lint(
+        &proto,
+        &Expectations {
+            state_budget: Some(4),
+            ..Expectations::default()
+        },
+    );
+    assert!(
+        report.has(FindingKind::MissingMirror),
+        "bipartition mirror drop not flagged:\n{}",
+        report.render_text(&proto)
+    );
+}

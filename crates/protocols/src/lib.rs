@@ -22,6 +22,7 @@
 //!   majority; engine demonstrations and related-work context (§1.2).
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod bipartition;

@@ -23,6 +23,8 @@
 //! `simulated` and one `coalesced`/`cache`) and exits nonzero if any
 //! expectation fails.
 
+#![forbid(unsafe_code)]
+
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -12,13 +12,18 @@
 //! same graceful shutdown as `POST /shutdown`: drain workers, flush
 //! the store, optionally export metrics.
 
+#![deny(unsafe_code)]
+
 use std::process::ExitCode;
 
 use pp_serve::server::{ServeConfig, Server};
 use pp_serve::telemetry::serve_metrics;
 use pp_sweep::store::ResultStore;
 
+// The only unsafe in the whole binary lives in this module: one FFI
+// declaration plus two calls to install it.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -39,6 +44,13 @@ mod sig {
 
     /// Install handlers for SIGINT (2) and SIGTERM (15).
     pub fn install() {
+        // SAFETY: `signal` is declared with the exact libc ABI
+        // (`sighandler_t` is pointer-sized and a plain
+        // `extern "C" fn(i32)` is a valid handler value), and `on_signal`
+        // is async-signal-safe: its only effect is a store to a static
+        // `AtomicBool`, which is a single atomic instruction — no
+        // allocation, locking, or reentrant libc calls can occur in
+        // handler context.
         unsafe {
             signal(2, on_signal);
             signal(15, on_signal);

@@ -26,6 +26,8 @@
 //! * **Client** ([`client`]) — the blocking client the `pp-serve-load`
 //!   generator and the CI smoke test drive the server with.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod client;

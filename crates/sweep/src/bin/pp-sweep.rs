@@ -1,5 +1,7 @@
 //! The `pp-sweep` CLI: run/resume/status/gc over the experiment plans.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(pp_sweep::cli::main_with_args(&args));

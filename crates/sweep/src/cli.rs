@@ -187,6 +187,21 @@ fn run(
 
     // Union of cells first (dedupes across plans), then every report.
     let cells: Vec<_> = selected.iter().flat_map(|p| p.cells.clone()).collect();
+
+    // Static analysis gate: refuse to simulate a structurally broken
+    // protocol (lint errors), surface warnings without blocking.
+    match crate::lintgate::lint_cells(&cells) {
+        Ok(warnings) => {
+            for w in warnings {
+                eprintln!("pp-sweep: lint warning: {w}");
+            }
+        }
+        Err(report) => {
+            eprintln!("pp-sweep: refusing to run: {report}");
+            return 1;
+        }
+    }
+
     let progress = ConsoleProgress::new();
     let stats = match runner::run_cells(&cells, store, &progress, &ExecOptions::default()) {
         Ok(s) => s,

@@ -29,13 +29,20 @@
 //! (`run`, `resume`, `status`, `gc`, `list`); the legacy figure binaries
 //! are thin wrappers over [`cli::delegate`].
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod backend;
+// The CLI surface prints to stdout by design.
+#[allow(clippy::print_stdout)]
 pub mod cli;
 pub mod exec;
 pub mod journal;
 pub mod json;
+pub mod lintgate;
+// Console progress writes to stdout by design.
+#[allow(clippy::print_stdout)]
 pub mod observer;
 pub mod plan;
 pub mod plans;

@@ -1,0 +1,101 @@
+//! Pre-flight lint gate: statically analyse every protocol a sweep plan
+//! is about to simulate, and refuse to spend compute on a structurally
+//! broken one.
+//!
+//! `pp-sweep run` calls [`lint_cells`] before the runner touches a
+//! single trial. Each distinct [`ProtocolId`] in the selected cells is
+//! mapped to its pp-lint registry entry (compiled protocol + declared
+//! contract, including the Lemma 1 functionals for the k-partition
+//! family) and linted; any `Error`-severity finding aborts the run with
+//! the rendered report. Warnings are printed but do not block — the CI
+//! gate (`pp-lint --all-protocols --deny warnings`) is the stricter
+//! line of defence.
+
+use crate::spec::{CellSpec, ProtocolId};
+use pp_lint::registry;
+use pp_lint::Severity;
+
+/// Map a sweep protocol id to its lint-registry entry.
+fn entry_for(id: ProtocolId) -> registry::Entry {
+    match id {
+        ProtocolId::UniformKPartition { k } => registry::ukp(k),
+        ProtocolId::BasicStrategy { k } => registry::basic(k),
+        ProtocolId::OneSidedAbort { k } => registry::oneside(k),
+        ProtocolId::ComposedBipartition { h } => registry::composed(h),
+        ProtocolId::ApproxPartition { k } => registry::approx(k),
+    }
+}
+
+/// Lint every distinct protocol in `cells`. Returns `Err` with a
+/// human-readable report when any protocol has an `Error` finding;
+/// warning-level findings are returned in `Ok` for the caller to print.
+pub fn lint_cells(cells: &[CellSpec]) -> Result<Vec<String>, String> {
+    let mut seen: Vec<ProtocolId> = Vec::new();
+    for cell in cells {
+        if !seen.contains(&cell.protocol) {
+            seen.push(cell.protocol);
+        }
+    }
+
+    let mut warnings = Vec::new();
+    for id in seen {
+        let entry = entry_for(id);
+        let report = pp_lint::lint(&entry.proto, &entry.expect);
+        if report.deny() {
+            return Err(format!(
+                "protocol {} failed static analysis:\n{}",
+                entry.slug,
+                report.render_text(&entry.proto)
+            ));
+        }
+        for f in report.at(Severity::Warning) {
+            warnings.push(format!("{}: {}: {}", entry.slug, f.kind.id(), f.message));
+        }
+    }
+    Ok(warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CellMode, CriterionKind, KernelChoice};
+
+    fn cell(protocol: ProtocolId) -> CellSpec {
+        CellSpec {
+            protocol,
+            n: 32,
+            trials: 1,
+            seed: 1,
+            criterion: CriterionKind::Stable,
+            budget: 1_000_000,
+            mode: CellMode::Summary,
+            kernel: KernelChoice::Leap,
+        }
+    }
+
+    #[test]
+    fn all_plan_protocols_pass_the_gate() {
+        let cells: Vec<CellSpec> = [
+            ProtocolId::UniformKPartition { k: 3 },
+            ProtocolId::UniformKPartition { k: 8 },
+            ProtocolId::BasicStrategy { k: 3 },
+            ProtocolId::OneSidedAbort { k: 4 },
+            ProtocolId::ComposedBipartition { h: 2 },
+            ProtocolId::ApproxPartition { k: 5 },
+        ]
+        .into_iter()
+        .map(cell)
+        .collect();
+        let warnings = lint_cells(&cells).expect("zoo protocols are lint-clean");
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
+    }
+
+    #[test]
+    fn duplicate_protocols_lint_once() {
+        let cells = vec![
+            cell(ProtocolId::UniformKPartition { k: 3 }),
+            cell(ProtocolId::UniformKPartition { k: 3 }),
+        ];
+        assert!(lint_cells(&cells).is_ok());
+    }
+}

@@ -25,6 +25,10 @@ pub enum Value {
     Bool(bool),
     /// Unsigned integer.
     U64(u64),
+    /// Negative integer (encoded with a leading `-`). Non-negative
+    /// integers always use [`Value::U64`], so each integer has exactly
+    /// one representation and re-encoding stays byte-stable.
+    I64(i64),
     /// String.
     Str(String),
     /// Array.
@@ -68,6 +72,15 @@ impl Value {
         }
     }
 
+    /// Signed integer contents: an `I64` directly, or a `U64` that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
     /// String contents, if that is what this is.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -102,6 +115,9 @@ impl Value {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::I64(x) => {
                 let _ = write!(out, "{x}");
             }
             Value::Str(s) => encode_str(s, out),
@@ -233,13 +249,17 @@ impl<'a> Parser<'a> {
             Some(b'"') => self.string().map(Value::Str),
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
-            Some(b'0'..=b'9') => self.number(),
+            Some(b'0'..=b'9') | Some(b'-') => self.number(),
             _ => Err(self.err("expected a value")),
         }
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
         while self.peek().is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
@@ -247,11 +267,20 @@ impl<'a> Parser<'a> {
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("floats are not part of the persisted format"));
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Value::U64)
-            .ok_or_else(|| self.err("invalid number"))
+            .ok_or_else(|| self.err("invalid number"))?;
+        if negative {
+            // Canonical form: negative integers parse to I64, everything
+            // else to U64, so parse ∘ encode is the identity.
+            text.parse()
+                .map(Value::I64)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse()
+                .map(Value::U64)
+                .map_err(|_| self.err("invalid number"))
+        }
     }
 
     fn string(&mut self) -> Result<String, ParseError> {

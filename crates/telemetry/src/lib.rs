@@ -25,6 +25,9 @@
 //! consumers, so exports stay exactly representable in the workspace's
 //! integer-only JSON (the [`json`] module, which `pp-sweep` re-exports).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
+
 pub mod export;
 pub mod json;
 pub mod metrics;

@@ -1,5 +1,7 @@
 //! `pp-trace` binary: thin wrapper over [`pp_trace::cli::main_with_args`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(pp_trace::cli::main_with_args(&args));

@@ -28,9 +28,12 @@
 //!   `replay`, `verify`, `lemma1`).
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod classify;
+// The CLI surface prints to stdout by design.
+#[allow(clippy::print_stdout)]
 pub mod cli;
 pub mod export;
 pub mod format;

@@ -28,9 +28,11 @@
 //! instances.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub mod hitting;
+pub mod oracle;
 
 use pp_engine::population::Population;
 use pp_engine::protocol::{CompiledProtocol, StateId};

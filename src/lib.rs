@@ -39,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 
 pub use pp_analysis as analysis;
 pub use pp_engine as engine;
