@@ -1,0 +1,96 @@
+//! Refresh the `toposcan` section of `BENCH_engine.json`: dynamics-loop
+//! throughput (scheduler draws per second) for the complete graph vs
+//! ring vs random-regular(4) at n = 10³ and n = 10⁵.
+//!
+//! ```text
+//! toposcan [--budget B] [--out PATH]
+//! ```
+//!
+//! k = 3, seed fixed, uniform edge scheduler, no churn. Both population
+//! sizes share one draw budget (default 20M, the same cap
+//! `kernelbench` uses for its censored naive cell): the complete cell at
+//! n = 10³ stabilises well inside it, while the sparse families strand
+//! and censor — by design, so their records compare per-draw throughput
+//! on the honest `interactions_per_sec` basis rather than pretending
+//! censored wall clocks are comparable (see `pp_bench::toposcan`).
+//!
+//! Unlike `kernelbench` (which owns the document and rewrites it whole),
+//! this binary read-modify-writes: it parses the existing
+//! `BENCH_engine.json`, replaces only the `toposcan` key, and re-encodes
+//! — the kernel cells keep their committed numbers.
+
+#![forbid(unsafe_code)]
+
+use pp_bench::toposcan::{cell_json, measure, FAMILIES};
+use pp_sweep::json::Value;
+
+const K: usize = 3;
+const SEED: u64 = 20180725;
+
+fn parse_args() -> (u64, Option<String>) {
+    let mut budget: u64 = 20_000_000;
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--budget" => {
+                budget = need(i).parse().expect("--budget: integer");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(need(i).clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    (budget, out)
+}
+
+fn main() {
+    let (budget, out) = parse_args();
+    let mut cells = Vec::new();
+    for n in [1_000u64, 100_000] {
+        let ms: Vec<_> = FAMILIES
+            .into_iter()
+            .map(|(family, fragment)| measure(family, fragment, K, n, budget, SEED))
+            .collect();
+        for m in &ms {
+            println!(
+                "n={n}: {} {:.3e} draws/s (stabilised={}, {} effective)",
+                m.family,
+                m.interactions_per_sec(),
+                m.stabilised,
+                m.effective_interactions
+            );
+        }
+        cells.push(cell_json(n, &ms));
+    }
+    let section = Value::obj([
+        ("bench", Value::Str("topology_throughput".to_string())),
+        ("k", Value::U64(K as u64)),
+        ("seed", Value::U64(SEED)),
+        ("budget", Value::U64(budget)),
+        ("cells", Value::Arr(cells)),
+    ]);
+
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let path = out.unwrap_or_else(|| default_path.to_string());
+    // Read-modify-write: preserve every other section of the document.
+    let mut doc = match std::fs::read_to_string(&path) {
+        Ok(text) => Value::parse(&text)
+            .unwrap_or_else(|e| panic!("{path} exists but does not parse: {e:?}")),
+        Err(_) => Value::obj([]),
+    };
+    let Value::Obj(fields) = &mut doc else {
+        panic!("{path}: top level is not a JSON object");
+    };
+    fields.insert("toposcan".to_string(), section);
+    std::fs::write(&path, doc.encode() + "\n").expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

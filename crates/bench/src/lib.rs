@@ -10,3 +10,4 @@
 
 pub mod common;
 pub mod kernelbench;
+pub mod toposcan;

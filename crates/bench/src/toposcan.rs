@@ -1,0 +1,265 @@
+//! Topology throughput scan: the `toposcan` section of
+//! `BENCH_engine.json`.
+//!
+//! Where [`crate::kernelbench`] compares simulation *kernels* on the
+//! paper's complete graph, this module holds the kernel fixed (the
+//! agent-based dynamics loop in [`pp_topo::run_dynamics`], the only one
+//! that supports restricted topologies) and varies the *interaction
+//! graph*: complete vs ring vs random-regular(4). The honest metric is
+//! again scheduler draws per second, identities included — the dynamics
+//! loop pays for every draw regardless of whether the sampled edge's
+//! endpoints react.
+//!
+//! ## Censoring semantics
+//!
+//! Same contract as `kernelbench`: a run is *censored* when it exhausts
+//! its draw budget before the stable signature holds. On sparse
+//! topologies that is the expected outcome — the protocol's
+//! chain-building progression strands once an agent's few neighbours
+//! settle (see `pp_lint::topo`), so ring and random-regular cells
+//! typically censor while the complete cell stabilises. Per-family
+//! records carry their own `censored` flag, the cell is censored iff any
+//! family is, and the cell-level complete-vs-ring speedup picks its
+//! basis accordingly: end-to-end `wall_clock` only when both runs
+//! completed the same task, per-draw `interactions_per_sec` otherwise.
+
+use std::time::Instant;
+
+use pp_engine::observer::Observer;
+use pp_engine::protocol::StateId;
+use pp_protocols::kpartition::UniformKPartition;
+use pp_topo::Dynamics;
+
+/// The topology families the scan measures, as `(json label, dynamics
+/// topology fragment)` pairs. Labels are JSON object keys, so they avoid
+/// the `:`/`=` punctuation of the parseable fragment form.
+pub const FAMILIES: [(&str, &str); 3] = [
+    ("complete", "complete"),
+    ("ring", "ring"),
+    ("rr4", "rr:d=4"),
+];
+
+/// One timed dynamics run of one topology family on one k-partition cell.
+#[derive(Clone, Copy, Debug)]
+pub struct TopoMeasurement {
+    /// JSON label of the topology family (`"complete"`, `"ring"`, `"rr4"`).
+    pub family: &'static str,
+    /// Partition arity.
+    pub k: usize,
+    /// Population size.
+    pub n: u64,
+    /// Scheduler draws simulated (identity interactions included).
+    pub interactions: u64,
+    /// Draws that changed at least one agent's state.
+    pub effective_interactions: u64,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// Whether the stable signature held within the draw budget.
+    pub stabilised: bool,
+}
+
+impl TopoMeasurement {
+    /// Scheduler draws per wall-clock second.
+    pub fn interactions_per_sec(&self) -> f64 {
+        self.interactions as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Counts every scheduler draw. [`pp_topo::DynRunOutcome`] reports the
+/// draw total only for stabilised runs (`interactions` is `None` under
+/// censoring), so the bench counts draws itself via the observer — the
+/// dynamics loop reports each one, identities included.
+#[derive(Default)]
+struct DrawCounter {
+    draws: u64,
+}
+
+impl Observer for DrawCounter {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        _step: u64,
+        _p: StateId,
+        _q: StateId,
+        _p2: StateId,
+        _q2: StateId,
+        _counts: &[u64],
+    ) {
+        self.draws += 1;
+    }
+}
+
+/// Time one seeded k-partition dynamics run on the given topology
+/// family (a `FAMILIES`-style fragment) to stability or to `budget`
+/// scheduler draws, whichever comes first. Uniform edge scheduler, no
+/// churn — the scan isolates the cost of graph-restricted sampling.
+pub fn measure(
+    family: &'static str,
+    fragment: &str,
+    k: usize,
+    n: u64,
+    budget: u64,
+    seed: u64,
+) -> TopoMeasurement {
+    let kp = UniformKPartition::new(k);
+    let proto = kp.compile();
+    let criterion = kp.stable_signature(n);
+    let dynamics = Dynamics::parse(&format!("{fragment};uniform;j0.l0.c0.p0"))
+        .unwrap_or_else(|e| panic!("toposcan fragment {fragment}: {e}"));
+    let mut counter = DrawCounter::default();
+
+    let t0 = Instant::now();
+    let outcome = pp_topo::run_dynamics(
+        &proto,
+        n as usize,
+        &dynamics,
+        &criterion,
+        budget,
+        seed,
+        &mut counter,
+    )
+    .unwrap_or_else(|e| panic!("toposcan run on {fragment} failed: {e}"));
+    let seconds = t0.elapsed().as_secs_f64();
+
+    TopoMeasurement {
+        family,
+        k,
+        n,
+        interactions: counter.draws,
+        effective_interactions: outcome.effective_interactions,
+        seconds,
+        stabilised: outcome.stabilised(),
+    }
+}
+
+/// One JSON record per measured family run, carrying the run's own
+/// censoring flag (schema mirrors `kernelbench::measurement_json`).
+pub fn measurement_json(m: &TopoMeasurement) -> pp_sweep::json::Value {
+    use pp_sweep::json::Value;
+    Value::obj([
+        ("family", Value::Str(m.family.to_string())),
+        ("interactions", Value::U64(m.interactions)),
+        (
+            "effective_interactions",
+            Value::U64(m.effective_interactions),
+        ),
+        ("micros", Value::U64((m.seconds * 1e6) as u64)),
+        (
+            "interactions_per_sec",
+            Value::U64(m.interactions_per_sec() as u64),
+        ),
+        ("stabilised", Value::Bool(m.stabilised)),
+        ("censored", Value::Bool(!m.stabilised)),
+    ])
+}
+
+/// One cell of the `toposcan` section: every family measured at this
+/// population size, keyed by family label, plus the cell-level
+/// `censored` flag and the complete-vs-ring speedup with its basis —
+/// the same `censored`/`speedup_basis` contract as the kernel cells.
+pub fn cell_json(n: u64, ms: &[TopoMeasurement]) -> pp_sweep::json::Value {
+    use pp_sweep::json::Value;
+    let censored = ms.iter().any(|m| !m.stabilised);
+    let mut fields = vec![("n", Value::U64(n))];
+    for m in ms {
+        fields.push((m.family, measurement_json(m)));
+    }
+    fields.push(("censored", Value::Bool(censored)));
+    let complete = ms.iter().find(|m| m.family == "complete");
+    let ring = ms.iter().find(|m| m.family == "ring");
+    if let (Some(co), Some(ri)) = (complete, ring) {
+        let (speedup, basis) = if co.stabilised && ri.stabilised {
+            (ri.seconds / co.seconds.max(1e-12), "wall_clock")
+        } else {
+            (
+                co.interactions_per_sec() / ri.interactions_per_sec().max(1e-12),
+                "interactions_per_sec",
+            )
+        };
+        fields.push(("speedup", Value::U64(speedup as u64)));
+        fields.push(("speedup_basis", Value::Str(basis.to_string())));
+    }
+    Value::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_cell_stabilises_and_counts_draws() {
+        let m = measure("complete", "complete", 3, 24, u64::MAX, 7);
+        assert!(m.stabilised);
+        assert!(m.interactions >= m.effective_interactions);
+        assert!(m.effective_interactions > 0);
+        assert!(m.interactions_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sparse_cell_censors_at_the_budget() {
+        // Ring at k = 3: the chain strands long before the signature
+        // holds, so the run spends exactly its draw budget.
+        let m = measure("ring", "ring", 3, 24, 2_000, 7);
+        assert!(!m.stabilised);
+        assert_eq!(m.interactions, 2_000);
+    }
+
+    fn fake(family: &'static str, stabilised: bool, seconds: f64, ips: f64) -> TopoMeasurement {
+        TopoMeasurement {
+            family,
+            k: 3,
+            n: 1000,
+            interactions: (ips * seconds) as u64,
+            effective_interactions: 10,
+            seconds,
+            stabilised,
+        }
+    }
+
+    #[test]
+    fn cell_json_downgrades_basis_when_ring_censors() {
+        let cell = cell_json(
+            1000,
+            &[
+                fake("complete", true, 1.0, 2e6),
+                fake("ring", false, 1.0, 1e6),
+                fake("rr4", false, 1.0, 1e6),
+            ],
+        );
+        assert_eq!(
+            cell.get("censored"),
+            Some(&pp_sweep::json::Value::Bool(true))
+        );
+        assert_eq!(
+            cell.get("speedup_basis").and_then(|v| v.as_str()),
+            Some("interactions_per_sec")
+        );
+        assert_eq!(cell.get("speedup").and_then(|v| v.as_u64()), Some(2));
+        let ring = cell.get("ring").expect("ring record");
+        assert_eq!(
+            ring.get("censored"),
+            Some(&pp_sweep::json::Value::Bool(true))
+        );
+        let complete = cell.get("complete").expect("complete record");
+        assert_eq!(
+            complete.get("censored"),
+            Some(&pp_sweep::json::Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn cell_json_uses_wall_clock_when_both_stabilise() {
+        let cell = cell_json(
+            1000,
+            &[
+                fake("complete", true, 1.0, 2e6),
+                fake("ring", true, 3.0, 1e6),
+            ],
+        );
+        assert_eq!(
+            cell.get("speedup_basis").and_then(|v| v.as_str()),
+            Some("wall_clock")
+        );
+        assert_eq!(cell.get("speedup").and_then(|v| v.as_u64()), Some(3));
+    }
+}

@@ -36,7 +36,6 @@
 //!   advancing many trials in lockstep).
 //! * [`trace`] — scripted executions and human-readable configuration
 //!   pretty-printing (used to replay the paper's Figures 1 and 2).
-//! * [`graph`] — interaction graphs for the per-agent representation.
 //! * [`seeds`] — deterministic seed derivation for reproducible experiment
 //!   fan-out.
 //!
@@ -76,7 +75,6 @@
 pub mod batch;
 pub mod dot;
 pub mod fleet;
-pub mod graph;
 pub mod leap;
 pub mod metrics;
 pub mod observer;

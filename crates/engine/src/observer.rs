@@ -31,6 +31,52 @@ pub enum FallbackReason {
     Overdraw,
 }
 
+/// A population-membership change applied between interactions by a
+/// dynamics layer (e.g. `pp-topo`'s churn engine). Reported through
+/// [`Observer::on_lifecycle`]; the engine itself never emits these — it
+/// only defines the vocabulary so observers (trace recorders, telemetry)
+/// can witness churn without the dynamics layer knowing about them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// An agent joined the population (in the reported state).
+    Join,
+    /// An agent left gracefully (its state is reported for accounting).
+    Leave,
+    /// An agent crashed (semantically identical to a leave for the
+    /// population; distinguished for telemetry and trace analysis).
+    Crash,
+}
+
+impl LifecycleKind {
+    /// Stable wire code (used by the trace format).
+    pub fn code(self) -> u64 {
+        match self {
+            LifecycleKind::Join => 0,
+            LifecycleKind::Leave => 1,
+            LifecycleKind::Crash => 2,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(c: u64) -> Option<Self> {
+        match c {
+            0 => Some(LifecycleKind::Join),
+            1 => Some(LifecycleKind::Leave),
+            2 => Some(LifecycleKind::Crash),
+            _ => None,
+        }
+    }
+
+    /// Lower-case label for reports and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            LifecycleKind::Join => "join",
+            LifecycleKind::Leave => "leave",
+            LifecycleKind::Crash => "crash",
+        }
+    }
+}
+
 /// Receives interaction events from the simulator.
 pub trait Observer {
     /// Called after interaction number `step` (1-based) has been applied.
@@ -85,6 +131,17 @@ pub trait Observer {
     /// nothing.
     #[inline(always)]
     fn on_batch_fallback(&mut self, _reason: FallbackReason) {}
+
+    /// Called by a dynamics layer after a population-membership change
+    /// (join/leave/crash) has been applied between interactions. `step`
+    /// is the number of interactions performed so far (the event happens
+    /// *after* interaction `step`, before `step + 1`), `state` is the
+    /// joining agent's initial state or the departing agent's last state,
+    /// and `counts` is the configuration *after* the change. The default
+    /// implementation does nothing.
+    #[inline(always)]
+    fn on_lifecycle(&mut self, _step: u64, _kind: LifecycleKind, _state: StateId, _counts: &[u64]) {
+    }
 }
 
 /// Observer that does nothing; compiles away.
@@ -347,6 +404,12 @@ impl<A: Observer, B: Observer> Observer for Chain<A, B> {
     fn on_batch_fallback(&mut self, reason: FallbackReason) {
         self.0.on_batch_fallback(reason);
         self.1.on_batch_fallback(reason);
+    }
+
+    #[inline]
+    fn on_lifecycle(&mut self, step: u64, kind: LifecycleKind, state: StateId, counts: &[u64]) {
+        self.0.on_lifecycle(step, kind, state, counts);
+        self.1.on_lifecycle(step, kind, state, counts);
     }
 }
 

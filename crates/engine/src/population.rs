@@ -283,11 +283,22 @@ impl AgentPopulation {
 
     /// Remove agent `i` from the population (models agent failure, as in
     /// the fault-tolerance application the paper's introduction cites).
-    /// Order of the remaining agents is not preserved.
+    /// Order of the remaining agents is not preserved: the last agent is
+    /// swapped into slot `i` (callers tracking agent identity — e.g. a
+    /// topology — must apply the same remapping).
     pub fn remove_agent(&mut self, i: usize) -> StateId {
         let s = self.states.swap_remove(i);
         self.counts[s.index()] -= 1;
         s
+    }
+
+    /// Add a new agent in state `s` (models an agent joining mid-run, as
+    /// in churn scenarios). Returns the new agent's index, which is always
+    /// the current highest index.
+    pub fn add_agent(&mut self, s: StateId) -> usize {
+        self.states.push(s);
+        self.counts[s.index()] += 1;
+        self.states.len() - 1
     }
 
     /// Apply one interaction between the ordered agent pair `(i, j)`,

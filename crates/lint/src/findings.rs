@@ -84,6 +84,10 @@ pub enum FindingKind {
     /// The state count exceeds the declared budget (the k-partition
     /// family's `3k − 2`).
     StateBudgetExceeded,
+    /// The protocol's progression depth exceeds a declared topology
+    /// degree bound — chain-building rules can strand on that graph
+    /// family and trials may censor (see [`crate::topo`]).
+    TopologyStrandRisk,
     /// Derived fact: the P-invariant basis (rank, dimensions).
     InvariantBasis,
     /// Derived fact: a declared invariant was proven inductively (it is
@@ -108,6 +112,7 @@ impl FindingKind {
             FindingKind::EmptyGroup => "empty-group",
             FindingKind::UnreachableGroup => "unreachable-group",
             FindingKind::StateBudgetExceeded => "state-budget-exceeded",
+            FindingKind::TopologyStrandRisk => "topology-strand-risk",
             FindingKind::InvariantBasis => "invariant-basis",
             FindingKind::InvariantCertified => "invariant-certified",
         }

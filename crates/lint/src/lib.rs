@@ -19,6 +19,10 @@
 //! * [`registry`] — the built-in protocol zoo paired with each family's
 //!   declared contract, so `pp-lint --all-protocols --deny warnings`
 //!   gates CI without suppressions.
+//! * [`topo`] — topology-aware strand-risk heuristics: warns when a
+//!   protocol's chain-building progression is deeper than a declared
+//!   graph degree bound can serve (the caller — e.g. `pp-sweep`'s lint
+//!   gate — supplies the bound, keeping pp-lint graph-library-free).
 //!
 //! The derived invariants are exported as plain coefficient vectors
 //! (see [`invariant::Functional`]) that pp-verify consumes as a
@@ -37,6 +41,7 @@ pub mod findings;
 pub mod invariant;
 pub mod reach;
 pub mod registry;
+pub mod topo;
 
 pub use checks::{lint, Expectations};
 pub use findings::{Finding, FindingKind, LintReport, Severity};

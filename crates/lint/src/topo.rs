@@ -1,0 +1,138 @@
+//! Topology-aware strand-risk analysis.
+//!
+//! The paper's correctness argument assumes the complete interaction
+//! graph: any agent can eventually meet any other, so a chain-builder
+//! always finds the partners its next rule needs. On a bounded-degree
+//! topology that guarantee evaporates — an agent has at most `d`
+//! distinct neighbours, and once those neighbours settle into states the
+//! agent's pending rules cannot use, the progression strands even under
+//! a globally fair scheduler restricted to the graph's edges.
+//!
+//! [`strand_findings`] turns that observation into a *heuristic* lint:
+//! it measures the protocol's **progression depth** — the length of the
+//! longest shortest advancement chain `s₀ → s₁ → …` where each hop
+//! needs one effective interaction — and warns when that depth exceeds
+//! what a declared degree bound can serve (`depth > degree + 1`). The
+//! check is deliberately graph-family-agnostic (pp-lint analyses rule
+//! tables, not graphs; the caller supplies the bound, e.g. from
+//! `pp_topo::TopoSpec::degree_bound`), and it is a warning, not an
+//! error: sparse topologies remain simulable, the finding just predicts
+//! censored trials.
+
+use crate::findings::{Finding, FindingKind, Severity};
+use pp_engine::protocol::{CompiledProtocol, StateId};
+
+/// Per-state advancement depth: `depth[s]` is the minimum number of
+/// effective interactions an agent needs to go from the initial state to
+/// `s` (each hop `a → a'` witnessed by some rule `δ(a, q)` or `δ(q, a)`
+/// that changes the agent's own state). `None` for states no sequence of
+/// own-state hops reaches — a superset of truly unreachable states,
+/// since partner availability is not modelled here.
+pub fn progression_depths(proto: &CompiledProtocol) -> Vec<Option<u32>> {
+    let s = proto.num_states();
+    let mut depth: Vec<Option<u32>> = vec![None; s];
+    let init = proto.initial_state();
+    depth[init.index()] = Some(0);
+    let mut frontier = vec![init];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &a in &frontier {
+            for q in proto.states() {
+                // `a` advances as the initiator of δ(a, q) or as the
+                // responder of δ(q, a); the partner `q` ranges over all
+                // states — partner availability is the part this
+                // abstraction deliberately does not model.
+                let (a_as_init, _) = proto.delta(a, q);
+                let (_, a_as_resp) = proto.delta(q, a);
+                for hop in [a_as_init, a_as_resp] {
+                    if hop != a && depth[hop.index()].is_none() {
+                        depth[hop.index()] = Some(level);
+                        next.push(hop);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    depth
+}
+
+/// Warn when the protocol's progression depth exceeds what a
+/// bounded-degree topology can serve. `max_degree = None` (the complete
+/// graph, or an unknown family) never warns. Returns at most one
+/// finding, anchored at the deepest states.
+pub fn strand_findings(proto: &CompiledProtocol, max_degree: Option<u32>) -> Vec<Finding> {
+    let Some(d) = max_degree else {
+        return Vec::new();
+    };
+    let depths = progression_depths(proto);
+    let deepest = depths.iter().flatten().copied().max().unwrap_or(0);
+    // An agent with d neighbours can witness at most d distinct settled
+    // partners plus its own churn of re-meetings; a progression needing
+    // more than d + 1 effective hops can exhaust useful partners.
+    if deepest <= d + 1 {
+        return Vec::new();
+    }
+    let anchors: Vec<StateId> = proto
+        .states()
+        .filter(|s| depths[s.index()] == Some(deepest))
+        .collect();
+    vec![Finding::new(
+        Severity::Warning,
+        FindingKind::TopologyStrandRisk,
+        format!(
+            "progression depth {deepest} exceeds degree bound {d}: reaching the \
+             deepest state takes {deepest} effective interactions, but an agent on \
+             a degree-{d} topology has at most {d} distinct partners — \
+             chain-building can strand and trials may censor",
+        ),
+    )
+    .with_states(anchors)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::kpartition::UniformKPartition;
+
+    #[test]
+    fn epidemic_is_strand_free_at_any_degree() {
+        let proto = pp_protocols::classics::epidemic();
+        let depths = progression_depths(&proto);
+        assert!(depths.iter().flatten().all(|&d| d <= 1));
+        assert!(strand_findings(&proto, Some(1)).is_empty());
+        assert!(strand_findings(&proto, None).is_empty());
+    }
+
+    #[test]
+    fn kpartition_chain_depth_grows_with_k() {
+        let d3 = progression_depths(&UniformKPartition::new(3).compile());
+        let d6 = progression_depths(&UniformKPartition::new(6).compile());
+        let max3 = d3.iter().flatten().copied().max().unwrap();
+        let max6 = d6.iter().flatten().copied().max().unwrap();
+        assert!(
+            max6 > max3,
+            "chain depth must grow with k: {max3} vs {max6}"
+        );
+        // Every state is progression-reachable in the paper's protocol.
+        assert!(d6.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn ring_degree_warns_for_deep_chains_only() {
+        let proto = UniformKPartition::new(6).compile();
+        // Ring (degree 2): the k = 6 chain is far deeper than 3 hops.
+        let findings = strand_findings(&proto, Some(2));
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.kind, FindingKind::TopologyStrandRisk);
+        assert!(!f.states.is_empty(), "finding must anchor deepest states");
+        // A generous bound swallows the chain: no warning.
+        assert!(strand_findings(&proto, Some(64)).is_empty());
+        // Complete graph (no bound): never warns.
+        assert!(strand_findings(&proto, None).is_empty());
+    }
+}

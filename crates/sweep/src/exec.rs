@@ -67,6 +67,9 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
         CellMode::Trajectory { .. } => spec.seed,
         _ => seeds::derive(spec.seed, trial),
     };
+    if !spec.dynamics.is_default() {
+        return run_dynamics_trial(spec, cell, trial, seed);
+    }
     let kernel = spec.kernel.runner_kernel();
     match spec.mode {
         CellMode::Summary => TrialRecord::summary(
@@ -157,16 +160,53 @@ pub fn run_one_trial(spec: &CellSpec, cell: &MaterializedCell, trial: u64) -> Tr
     }
 }
 
+/// Run one trial under non-default dynamics: the general topology /
+/// scheduler / churn loop in `pp_topo` (always the naive kernel —
+/// [`CellSpec::validate_dynamics`] rejects any other before we get
+/// here). `Summary` records interactions-to-stability; `Full` also keeps
+/// the final configuration, whose total reflects net churn.
+fn run_dynamics_trial(
+    spec: &CellSpec,
+    cell: &MaterializedCell,
+    trial: u64,
+    seed: u64,
+) -> TrialRecord {
+    let outcome = pp_topo::run_dynamics(
+        &cell.proto,
+        spec.n as usize,
+        &spec.dynamics,
+        &cell.criterion,
+        spec.budget,
+        seed,
+        &mut pp_engine::observer::NullObserver,
+    )
+    .unwrap_or_else(|e| panic!("dynamics trial {trial} of {} failed: {e}", spec.file_stem()));
+    TrialRecord {
+        trial,
+        interactions: outcome.interactions,
+        completions: None,
+        final_counts: matches!(spec.mode, CellMode::Full).then_some(outcome.final_counts),
+        samples: None,
+    }
+}
+
 /// Execute a cell against the store: return the cached result if
 /// complete, otherwise recover the journal, simulate the missing trials
 /// (in parallel), journal each as it lands, and promote the finished set
 /// to the store atomically.
+///
+/// Rejects specs whose dynamics block is invalid or whose kernel cannot
+/// run it (e.g. the batch kernel on a non-complete topology) with
+/// `InvalidInput` before any trial is simulated.
 pub fn run_cell(
     spec: &CellSpec,
     store: &ResultStore,
     obs: &dyn SweepObserver,
     opts: &ExecOptions,
 ) -> std::io::Result<CellOutcome> {
+    if let Err(msg) = spec.validate_dynamics() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
+    }
     let started = std::time::Instant::now();
     let elapsed_micros =
         |s: &std::time::Instant| s.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -282,6 +322,7 @@ mod tests {
             budget: 10_000_000,
             mode,
             kernel,
+            dynamics: pp_topo::Dynamics::default_dynamics(),
         }
     }
 
@@ -392,6 +433,89 @@ mod tests {
             assert_eq!(row.len(), 1 + num_states);
             assert_eq!(row[1..].iter().sum::<u64>(), 12);
         }
+    }
+
+    fn dyn_spec(fragment: &str, mode: CellMode) -> CellSpec {
+        CellSpec {
+            kernel: crate::spec::KernelChoice::Naive,
+            dynamics: pp_topo::Dynamics::parse(fragment).unwrap(),
+            // Sparse-topology trials may never stabilise; a small budget
+            // keeps the censored path fast in debug builds.
+            budget: 200_000,
+            ..spec(mode)
+        }
+    }
+
+    #[test]
+    fn dynamics_cell_runs_end_to_end_and_caches() {
+        let store = temp_store("dyn");
+        let obs = CountingObserver::default();
+        // Ring + net-positive churn, full capture: final counts must sum
+        // to n plus net churn for every trial that ran.
+        let s = dyn_spec("ring;uniform;j2.l1.c0.p50", CellMode::Full);
+        let r1 = run_cell(&s, &store, &obs, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(r1.records.len(), 6);
+        for rec in &r1.records {
+            let counts = rec.final_counts.as_ref().unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), s.target_n());
+        }
+        // Deterministic and cached: a second run is a pure hit.
+        let r2 = run_cell(&s, &store, &obs, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(obs.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(r1.records, r2.records);
+    }
+
+    #[test]
+    fn dynamics_cell_resumes_deterministically() {
+        // The journal/resume contract holds under dynamics too: kill
+        // mid-cell, resume, compare against an uninterrupted run.
+        let s = dyn_spec("rr:d=4;adversarial;j1.l1.c1.p40", CellMode::Summary);
+        let fresh = run_cell(
+            &s,
+            &temp_store("dynfresh"),
+            &NullObserver,
+            &ExecOptions::default(),
+        )
+        .unwrap()
+        .expect_complete();
+        let store = temp_store("dynresume");
+        match run_cell(
+            &s,
+            &store,
+            &NullObserver,
+            &ExecOptions {
+                kill_after: Some(3),
+            },
+        )
+        .unwrap()
+        {
+            CellOutcome::Interrupted { journaled } => assert_eq!(journaled, 3),
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        let resumed = run_cell(&s, &store, &NullObserver, &ExecOptions::default())
+            .unwrap()
+            .expect_complete();
+        assert_eq!(fresh.records, resumed.records);
+    }
+
+    #[test]
+    fn invalid_dynamics_rejected_before_any_trial() {
+        let store = temp_store("dynbad");
+        let obs = CountingObserver::default();
+        // Batch kernel on a ring: the typed pp_topo refusal surfaces as
+        // InvalidInput, and no trial is simulated.
+        let s = CellSpec {
+            kernel: crate::spec::KernelChoice::Batch,
+            ..dyn_spec("ring;uniform;j0.l0.c0.p0", CellMode::Summary)
+        };
+        let err = run_cell(&s, &store, &obs, &ExecOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("batch"), "{err}");
+        assert_eq!(obs.trials.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -29,11 +29,28 @@ fn entry_for(id: ProtocolId) -> registry::Entry {
 /// Lint every distinct protocol in `cells`. Returns `Err` with a
 /// human-readable report when any protocol has an `Error` finding;
 /// warning-level findings are returned in `Ok` for the caller to print.
+///
+/// Cells with a bounded-degree topology additionally get the
+/// [`pp_lint::topo`] strand-risk pass: a protocol whose chain-building
+/// progression is deeper than the declared degree bound can serve is
+/// flagged (warning only — sparse topologies are simulable, the finding
+/// just predicts censored trials).
 pub fn lint_cells(cells: &[CellSpec]) -> Result<Vec<String>, String> {
     let mut seen: Vec<ProtocolId> = Vec::new();
+    // Distinct (protocol, degree bound) pairs for the topology pass.
+    let mut topo_seen: Vec<(ProtocolId, u32, String)> = Vec::new();
     for cell in cells {
         if !seen.contains(&cell.protocol) {
             seen.push(cell.protocol);
+        }
+        if let Some(d) = cell.dynamics.topo.degree_bound() {
+            let family = cell.dynamics.topo.family().to_string();
+            if !topo_seen
+                .iter()
+                .any(|(p, b, _)| *p == cell.protocol && *b == d)
+            {
+                topo_seen.push((cell.protocol, d, family));
+            }
         }
     }
 
@@ -50,6 +67,17 @@ pub fn lint_cells(cells: &[CellSpec]) -> Result<Vec<String>, String> {
         }
         for f in report.at(Severity::Warning) {
             warnings.push(format!("{}: {}: {}", entry.slug, f.kind.id(), f.message));
+        }
+    }
+    for (id, degree, family) in topo_seen {
+        let entry = entry_for(id);
+        for f in pp_lint::topo::strand_findings(&entry.proto, Some(degree)) {
+            warnings.push(format!(
+                "{} on {family}: {}: {}",
+                entry.slug,
+                f.kind.id(),
+                f.message
+            ));
         }
     }
     Ok(warnings)
@@ -70,6 +98,7 @@ mod tests {
             budget: 1_000_000,
             mode: CellMode::Summary,
             kernel: KernelChoice::Leap,
+            dynamics: pp_topo::Dynamics::default_dynamics(),
         }
     }
 
@@ -97,5 +126,23 @@ mod tests {
             cell(ProtocolId::UniformKPartition { k: 3 }),
         ];
         assert!(lint_cells(&cells).is_ok());
+    }
+
+    #[test]
+    fn bounded_degree_topology_warns_on_deep_chains() {
+        let mut ring = cell(ProtocolId::UniformKPartition { k: 6 });
+        ring.kernel = KernelChoice::Naive;
+        ring.dynamics = pp_topo::Dynamics::parse("ring;uniform;j0.l0.c0.p0").unwrap();
+        let warnings = lint_cells(&[ring]).expect("warnings are not fatal");
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("topology-strand-risk") && w.contains("ring")),
+            "expected a strand-risk warning, got {warnings:?}"
+        );
+        // The same protocol on the complete graph stays warning-free.
+        let complete = cell(ProtocolId::UniformKPartition { k: 6 });
+        let warnings = lint_cells(&[complete]).unwrap();
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
     }
 }

@@ -75,6 +75,7 @@ pub fn ukp_cell(k: usize, n: u64, cfg: PlanConfig, mode: CellMode) -> CellSpec {
         budget: kp.interaction_budget(n),
         mode,
         kernel: KernelChoice::auto_for(mode),
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 
@@ -91,6 +92,7 @@ pub fn baseline_cell(protocol: ProtocolId, n: u64, cfg: PlanConfig) -> CellSpec 
         budget: 1_000_000_000_000,
         mode: CellMode::Full,
         kernel: KernelChoice::auto_for(CellMode::Full),
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 
@@ -121,6 +123,7 @@ pub fn plans(cfg: PlanConfig) -> Vec<Plan> {
         crate::plans::variants::plan(cfg),
         crate::plans::distributions::plan(cfg),
         crate::plans::trajectory::plan(cfg),
+        crate::plans::topo::plan(cfg),
     ]
 }
 
@@ -155,6 +158,7 @@ mod tests {
                 "variants",
                 "distributions",
                 "trajectory",
+                "topo-families",
             ]
         );
         for n in &names {

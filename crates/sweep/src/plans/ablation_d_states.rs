@@ -29,6 +29,7 @@ fn basic_cell(k: usize, n: u64, cfg: PlanConfig) -> CellSpec {
         budget: 1_000_000_000,
         mode: CellMode::Full,
         kernel: KernelChoice::auto_for(CellMode::Full),
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 

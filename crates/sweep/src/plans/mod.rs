@@ -15,5 +15,6 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod topo;
 pub mod trajectory;
 pub mod variants;

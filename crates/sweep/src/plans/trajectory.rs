@@ -36,6 +36,7 @@ fn traj_cell(k: usize, cfg: PlanConfig) -> CellSpec {
         // Trajectory capture samples every interaction (identities
         // included), which only the naive kernel reports.
         kernel: KernelChoice::Naive,
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 

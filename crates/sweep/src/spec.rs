@@ -14,6 +14,7 @@ use pp_protocols::hierarchical::{HierarchicalPartition, HierarchicalStable};
 use pp_protocols::kpartition::ablation::BasicStrategyKPartition;
 use pp_protocols::kpartition::variant::OneSidedAbortKPartition;
 use pp_protocols::kpartition::UniformKPartition;
+use pp_topo::Dynamics;
 
 /// Which protocol a cell simulates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -204,6 +205,11 @@ pub struct CellSpec {
     pub mode: CellMode,
     /// Which simulation kernel runs the trials.
     pub kernel: KernelChoice,
+    /// Population dynamics: topology family, edge scheduler, and churn.
+    /// [`Dynamics::default_dynamics`] (complete graph, uniform scheduler,
+    /// no churn) is the paper's model and keys identically to pre-v4
+    /// specs, so the historical store stays warm.
+    pub dynamics: Dynamics,
 }
 
 /// Format-version prefix of every canonical key. Bump when the journal /
@@ -219,7 +225,19 @@ pub struct CellSpec {
 /// leap in the bulk, so the version bump retires every v2 cache entry
 /// rather than risking a naive/leap cell answering under semantics that
 /// now include a third kernel.
-pub const KEY_VERSION: &str = "v3";
+///
+/// v4: population dynamics (topology / scheduler / churn) joined the
+/// spec. The bump is *loss-free*: default-dynamics cells — the paper's
+/// complete-graph model, i.e. every cell that could exist before v4 —
+/// keep emitting the exact v3 key (see [`LEGACY_KEY_VERSION`]), so
+/// their content hashes are unchanged and the historical store stays
+/// warm; only cells with non-default dynamics carry the `v4` prefix and
+/// a `dyn=` fragment.
+pub const KEY_VERSION: &str = "v4";
+
+/// The key version emitted for default-dynamics cells, preserving their
+/// pre-v4 content addresses byte for byte.
+pub const LEGACY_KEY_VERSION: &str = "v3";
 
 impl CellSpec {
     /// The canonical key: a stable, human-readable string that pins every
@@ -229,8 +247,16 @@ impl CellSpec {
             CriterionKind::Stable => "stable",
             CriterionKind::Silent => "silent",
         };
-        format!(
-            "{KEY_VERSION}|{}|n={}|trials={}|seed={}|crit={crit}|budget={}|mode={}|kernel={}",
+        // Default-dynamics cells keep the legacy key byte for byte (no
+        // `dyn=` fragment, v3 prefix) so their content addresses — and
+        // hence every pre-v4 store entry — survive the version bump.
+        let version = if self.dynamics.is_default() {
+            LEGACY_KEY_VERSION
+        } else {
+            KEY_VERSION
+        };
+        let mut key = format!(
+            "{version}|{}|n={}|trials={}|seed={}|crit={crit}|budget={}|mode={}|kernel={}",
             self.protocol.key_fragment(),
             self.n,
             self.trials,
@@ -238,7 +264,11 @@ impl CellSpec {
             self.budget,
             self.mode.key_fragment(),
             self.kernel.key_fragment(),
-        )
+        );
+        if !self.dynamics.is_default() {
+            key.push_str(&format!("|dyn={}", self.dynamics.key_fragment()));
+        }
+        key
     }
 
     /// FNV-1a 64-bit hash of the canonical key — the cell's content
@@ -261,12 +291,50 @@ impl CellSpec {
         )
     }
 
+    /// The population size the stopping criterion targets: `n` shifted by
+    /// the churn plan's net join−leave−crash balance. Equal to `n` for
+    /// default dynamics.
+    pub fn target_n(&self) -> u64 {
+        let net = self.dynamics.churn.net();
+        if net >= 0 {
+            self.n.saturating_add(net as u64)
+        } else {
+            self.n.saturating_sub(net.unsigned_abs())
+        }
+    }
+
+    /// Check the dynamics block is executable: the topology/churn specs
+    /// are valid at this `n`, the chosen kernel can run them (the batch
+    /// and leap kernels require the paper's default dynamics — the batch
+    /// refusal is the typed `BatchRequiresComplete` from `pp_topo`), and
+    /// the capture mode is supported under dynamics.
+    pub fn validate_dynamics(&self) -> Result<(), String> {
+        if self.dynamics.is_default() {
+            return Ok(());
+        }
+        self.dynamics
+            .validate(self.n as usize)
+            .map_err(|e| e.to_string())?;
+        pp_topo::ensure_kernel_compatible(self.kernel.key_fragment(), &self.dynamics)
+            .map_err(|e| e.to_string())?;
+        if !matches!(self.mode, CellMode::Summary | CellMode::Full) {
+            return Err("watched/trajectory modes require default dynamics".into());
+        }
+        Ok(())
+    }
+
     /// Compile the protocol and its stopping criterion.
+    ///
+    /// Criteria that depend on the population size (stable signatures)
+    /// target [`CellSpec::target_n`] — the post-churn population — so a
+    /// churn cell is judged stable against the configuration it can
+    /// actually reach.
     pub fn materialize(&self) -> MaterializedCell {
+        let sig_n = self.target_n();
         let (proto, stable): (CompiledProtocol, AnyCriterion) = match self.protocol {
             ProtocolId::UniformKPartition { k } => {
                 let p = UniformKPartition::new(k);
-                let c = AnyCriterion::Signature(p.stable_signature(self.n));
+                let c = AnyCriterion::Signature(p.stable_signature(sig_n));
                 (p.compile(), c)
             }
             ProtocolId::BasicStrategy { k } => {
@@ -278,7 +346,7 @@ impl CellSpec {
             }
             ProtocolId::OneSidedAbort { k } => {
                 let p = OneSidedAbortKPartition::new(k);
-                let c = AnyCriterion::Signature(p.stable_signature(self.n));
+                let c = AnyCriterion::Signature(p.stable_signature(sig_n));
                 (p.compile(), c)
             }
             ProtocolId::ComposedBipartition { h } => {
@@ -351,6 +419,9 @@ impl CellSpec {
             }
         }
         pairs.push(("kernel", Value::Str(self.kernel.key_fragment().to_string())));
+        if !self.dynamics.is_default() {
+            pairs.push(("dynamics", Value::Str(self.dynamics.key_fragment())));
+        }
         Value::obj(pairs)
     }
 
@@ -401,6 +472,10 @@ impl CellSpec {
             Some("batch") => KernelChoice::Batch,
             Some(other) => return Err(format!("unknown kernel '{other}'")),
         };
+        let dynamics = match v.get("dynamics").and_then(Value::as_str) {
+            None => Dynamics::default_dynamics(),
+            Some(frag) => Dynamics::parse(frag).map_err(|e| e.to_string())?,
+        };
         let spec = CellSpec {
             protocol,
             n: req_u64("n")?,
@@ -410,6 +485,7 @@ impl CellSpec {
             budget: req_u64("budget")?,
             mode,
             kernel,
+            dynamics,
         };
         if spec.trials == 0 {
             return Err("trials must be positive".into());
@@ -427,6 +503,7 @@ impl CellSpec {
         {
             return Err("watched mode is only defined for protocol 'ukp'".into());
         }
+        spec.validate_dynamics()?;
         Ok(spec)
     }
 
@@ -511,7 +588,12 @@ mod tests {
             budget: 1_000_000,
             mode: CellMode::Summary,
             kernel: KernelChoice::Leap,
+            dynamics: Dynamics::default_dynamics(),
         }
+    }
+
+    fn ring_dynamics() -> Dynamics {
+        Dynamics::parse("ring;uniform;j0.l0.c0.p0").unwrap()
     }
 
     #[test]
@@ -555,11 +637,96 @@ mod tests {
                 kernel: KernelChoice::Naive,
                 ..base.clone()
             },
+            CellSpec {
+                dynamics: ring_dynamics(),
+                kernel: KernelChoice::Naive,
+                ..base.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(v.canonical_key(), key);
             assert_ne!(v.content_hash(), base.content_hash());
         }
+    }
+
+    #[test]
+    fn key_version_bump_is_loss_free() {
+        // Default-dynamics cells — everything that existed before v4 —
+        // must keep their exact v3 canonical key, and hence their content
+        // address: a spec stored under v3 is a cache hit under v4.
+        let legacy = ukp_cell();
+        assert!(legacy.dynamics.is_default());
+        let key = legacy.canonical_key();
+        assert!(key.starts_with("v3|"), "legacy key drifted: {key}");
+        assert!(!key.contains("dyn="), "legacy key gained a fragment: {key}");
+        // The pinned pre-v4 hash (computed before the dynamics field
+        // existed). If this changes, the historical store goes cold.
+        assert_eq!(
+            key,
+            "v3|ukp:k=4|n=96|trials=100|seed=12345|crit=stable|budget=1000000|mode=summary|kernel=leap"
+        );
+
+        // Non-default dynamics key under v4 with an explicit fragment.
+        let topo = CellSpec {
+            dynamics: ring_dynamics(),
+            kernel: KernelChoice::Naive,
+            ..ukp_cell()
+        };
+        let key = topo.canonical_key();
+        assert!(key.starts_with("v4|"), "dynamics key not v4: {key}");
+        assert!(
+            key.ends_with("|dyn=ring;uniform;j0.l0.c0.p0"),
+            "missing dyn fragment: {key}"
+        );
+    }
+
+    #[test]
+    fn dynamics_validation_gates_kernels_and_modes() {
+        // Batch on a ring: the typed refusal from pp_topo surfaces.
+        let bad = CellSpec {
+            dynamics: ring_dynamics(),
+            kernel: KernelChoice::Batch,
+            ..ukp_cell()
+        };
+        let err = bad.validate_dynamics().unwrap_err();
+        assert!(err.contains("batch"), "untyped refusal: {err}");
+        assert!(err.contains("ring"), "refusal names no family: {err}");
+        // Leap on a ring: requires default dynamics.
+        let bad = CellSpec {
+            dynamics: ring_dynamics(),
+            kernel: KernelChoice::Leap,
+            ..ukp_cell()
+        };
+        assert!(bad.validate_dynamics().is_err());
+        // Naive on a ring is fine; watched mode under dynamics is not.
+        let ok = CellSpec {
+            dynamics: ring_dynamics(),
+            kernel: KernelChoice::Naive,
+            ..ukp_cell()
+        };
+        assert!(ok.validate_dynamics().is_ok());
+        let bad = CellSpec {
+            mode: CellMode::Watched,
+            ..ok
+        };
+        assert!(bad.validate_dynamics().is_err());
+    }
+
+    #[test]
+    fn target_n_follows_net_churn() {
+        assert_eq!(ukp_cell().target_n(), 96);
+        let churned = CellSpec {
+            dynamics: Dynamics::parse("complete;uniform;j3.l1.c1.p100").unwrap(),
+            kernel: KernelChoice::Naive,
+            ..ukp_cell()
+        };
+        assert_eq!(churned.target_n(), 97);
+        let shrinking = CellSpec {
+            dynamics: Dynamics::parse("complete;uniform;j0.l2.c1.p100").unwrap(),
+            kernel: KernelChoice::Naive,
+            ..ukp_cell()
+        };
+        assert_eq!(shrinking.target_n(), 93);
     }
 
     #[test]
@@ -620,6 +787,7 @@ mod tests {
                 budget: 1000,
                 mode: CellMode::Summary,
                 kernel: KernelChoice::Leap,
+                dynamics: Dynamics::default_dynamics(),
             };
             let m = spec.materialize();
             // The initial configuration is never already stable.
@@ -652,6 +820,11 @@ mod tests {
         });
         specs.push(CellSpec {
             mode: CellMode::Watched,
+            ..ukp_cell()
+        });
+        specs.push(CellSpec {
+            dynamics: Dynamics::parse("rr:d=4;zipf:s=12;j1.l1.c0.p500").unwrap(),
+            kernel: KernelChoice::Naive,
             ..ukp_cell()
         });
         for s in &specs {

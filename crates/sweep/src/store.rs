@@ -391,6 +391,7 @@ mod tests {
             budget: 1_000_000,
             mode: CellMode::Summary,
             kernel: KernelChoice::Leap,
+            dynamics: pp_topo::Dynamics::default_dynamics(),
         }
     }
 

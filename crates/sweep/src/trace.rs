@@ -6,7 +6,11 @@
 //! `<store>/<stem>.trace`, next to the cell's content-addressed result.
 //! Because trial 0's seed is a pure function of the spec, the trace can
 //! be (re)captured at any time, including on a cache hit, and always
-//! describes the exact run whose record sits in `<stem>.json`.
+//! describes the exact run whose record sits in `<stem>.json`. Cells
+//! with a non-default `dynamics` block are recorded through the same
+//! agent-based loop their trials execute on (see
+//! [`record_dynamics_trial0`]), lifecycle events included — never
+//! silently re-simulated on the complete-graph kernels.
 //!
 //! Captured traces feed the telemetry export: record/byte totals for
 //! every traced cell, plus per-rule firings and chain-lifecycle totals
@@ -21,7 +25,7 @@ use pp_engine::seeds;
 use pp_engine::simulator::{RunError, Simulator};
 use pp_trace::{Trace, TraceKernel, TraceRecorder};
 
-use crate::spec::{CellMode, CellSpec, KernelChoice, ProtocolId};
+use crate::spec::{CellMode, CellSpec, KernelChoice, MaterializedCell, ProtocolId};
 use crate::store::ResultStore;
 
 /// Match a shell-style glob (`*` = any run, `?` = any one char) against a
@@ -87,10 +91,39 @@ fn trial0_seed(spec: &CellSpec) -> u64 {
     }
 }
 
+/// Record trial 0 of a cell whose `dynamics` block is non-default
+/// (restricted topology, skewed/adversarial edge scheduler, or churn).
+/// Those trials execute through the agent-based loop in [`pp_topo`], not
+/// the count-vector kernels, so the trace is captured through the same
+/// loop with the same seed — lifecycle events included — and describes
+/// exactly the run the store holds. The header is tagged
+/// [`TraceKernel::Naive`]: the dynamics loop is interaction-granular
+/// like the naive kernel, and the trace decodes, replays, and
+/// classifies like any other. (Only `pp-trace verify`'s live re-run,
+/// which assumes the complete-graph kernels, does not apply here.)
+fn record_dynamics_trial0(spec: &CellSpec, cell: &MaterializedCell, seed: u64) -> Vec<u8> {
+    let pop = CountPopulation::new(&cell.proto, spec.n);
+    let mut rec = TraceRecorder::for_run(&cell.proto, &pop, seed, TraceKernel::Naive);
+    let outcome = pp_topo::run_dynamics(
+        &cell.proto,
+        spec.n as usize,
+        &spec.dynamics,
+        &cell.criterion,
+        spec.budget,
+        seed,
+        &mut rec,
+    )
+    .unwrap_or_else(|e| panic!("dynamics trace of {} failed: {e}", spec.file_stem()));
+    rec.finish(&outcome.final_counts)
+}
+
 /// Record trial 0 of `spec` and return the sealed trace bytes.
 fn record_trial0(spec: &CellSpec) -> Vec<u8> {
     let cell = spec.materialize();
     let seed = trial0_seed(spec);
+    if !spec.dynamics.is_default() {
+        return record_dynamics_trial0(spec, &cell, seed);
+    }
     let kernel = match spec.kernel {
         KernelChoice::Naive => TraceKernel::Naive,
         KernelChoice::Leap => TraceKernel::Leap,
@@ -192,6 +225,7 @@ mod tests {
             budget: 10_000_000,
             mode: CellMode::Summary,
             kernel,
+            dynamics: pp_topo::Dynamics::default_dynamics(),
         }
     }
 
@@ -242,6 +276,50 @@ mod tests {
             let again = trace_cell(&spec, &store).unwrap();
             assert!(!again.fresh);
             assert_eq!(again.bytes, t.bytes);
+            let _ = std::fs::remove_dir_all(store.dir());
+        }
+    }
+
+    #[test]
+    fn dynamics_cells_trace_through_the_dynamics_loop() {
+        // Ring (strands, censors at budget) and complete-with-churn
+        // (lifecycle events in the stream): both must be recorded by the
+        // same agent-based loop the stored trials ran on, not silently
+        // re-simulated on the complete-graph kernels.
+        for (tag, fragment, lifecycle) in [
+            ("ring", "ring;uniform;j0.l0.c0.p0", 0u64),
+            ("churn", "complete;uniform;j2.l1.c1.p200", 4u64),
+        ] {
+            let store = temp_store(&format!("dyn_{tag}"));
+            let mut spec = ukp_spec(KernelChoice::Naive);
+            spec.budget = 3_000;
+            spec.dynamics = pp_topo::Dynamics::parse(fragment).unwrap();
+            assert!(!spec.dynamics.is_default());
+            let t = trace_cell(&spec, &store).unwrap();
+            assert!(t.fresh);
+
+            // The trace describes the dynamics run the store's trial 0
+            // holds: re-running the same loop with the trial-0 seed must
+            // land on the recorded final counts.
+            let cell = spec.materialize();
+            let outcome = pp_topo::run_dynamics(
+                &cell.proto,
+                spec.n as usize,
+                &spec.dynamics,
+                &cell.criterion,
+                spec.budget,
+                trial0_seed(&spec),
+                &mut pp_engine::observer::NullObserver,
+            )
+            .unwrap();
+            let bytes = std::fs::read(&t.path).unwrap();
+            let trace = Trace::decode(&bytes).unwrap();
+            assert_eq!(trace.final_counts, outcome.final_counts);
+
+            // And it replays clean — transitions and lifecycle
+            // arithmetic checked record by record.
+            let summary = trace.replay_checked(&cell.proto).unwrap();
+            assert_eq!(summary.lifecycle, lifecycle);
             let _ = std::fs::remove_dir_all(store.dir());
         }
     }

@@ -21,6 +21,7 @@ fn spec(seed: u64) -> CellSpec {
         budget: 10_000_000,
         mode: CellMode::Summary,
         kernel: KernelChoice::Leap,
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 
@@ -70,6 +71,7 @@ fn file_stems_and_content_hashes_are_pinned() {
         budget: 50_000_000,
         mode: CellMode::Summary,
         kernel: KernelChoice::Leap,
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     };
     assert_eq!(fig_cell.file_stem(), "ukp-k3-n40-761460d4e2f1bf4f");
     assert_eq!(

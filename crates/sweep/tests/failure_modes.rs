@@ -28,6 +28,7 @@ fn small_cell(seed: u64, mode: CellMode) -> CellSpec {
         budget: 10_000_000,
         mode,
         kernel: KernelChoice::Leap,
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     }
 }
 
@@ -190,6 +191,7 @@ fn content_hash_is_stable_across_processes() {
         budget: 1_000_000,
         mode: CellMode::Summary,
         kernel: KernelChoice::Leap,
+        dynamics: pp_topo::Dynamics::default_dynamics(),
     };
     assert_eq!(
         spec.canonical_key(),

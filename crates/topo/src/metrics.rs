@@ -1,0 +1,58 @@
+//! Dynamics telemetry: `topo.*` counters.
+//!
+//! Follows the engine's pattern (shared `Arc` handles registered once per
+//! registry, a `OnceLock` global for the process-wide registry). Counters
+//! are bumped by the dynamics runner, outside any hot loop:
+//!
+//! | name                     | meaning |
+//! |--------------------------|---------|
+//! | `topo.runs`              | dynamics runs completed |
+//! | `topo.joins`             | join events applied |
+//! | `topo.leaves`            | leave events applied |
+//! | `topo.crashes`           | crash events applied |
+//! | `topo.dropped_events`    | departures skipped to keep ≥ 2 agents |
+//! | `topo.stranded_runs`     | runs censored because no edge remained |
+//! | `topo.adversarial_rounds`| scheduling rounds completed by adversarial-fair schedulers |
+
+use pp_telemetry::{Counter, Registry};
+use std::sync::{Arc, OnceLock};
+
+/// Shared handles to the dynamics metric series in one registry.
+#[derive(Clone, Debug)]
+pub struct TopoMetrics {
+    /// Dynamics runs completed (stable or censored).
+    pub runs: Arc<Counter>,
+    /// Join events applied.
+    pub joins: Arc<Counter>,
+    /// Leave events applied.
+    pub leaves: Arc<Counter>,
+    /// Crash events applied.
+    pub crashes: Arc<Counter>,
+    /// Departure events skipped because the population was at 2 agents.
+    pub dropped_events: Arc<Counter>,
+    /// Runs censored because the topology ran out of enabled edges.
+    pub stranded_runs: Arc<Counter>,
+    /// Rounds completed by adversarial-fair schedulers.
+    pub adversarial_rounds: Arc<Counter>,
+}
+
+impl TopoMetrics {
+    /// Resolve (registering on first use) the dynamics series in `reg`.
+    pub fn register_in(reg: &Registry) -> Self {
+        TopoMetrics {
+            runs: reg.counter("topo.runs"),
+            joins: reg.counter("topo.joins"),
+            leaves: reg.counter("topo.leaves"),
+            crashes: reg.counter("topo.crashes"),
+            dropped_events: reg.counter("topo.dropped_events"),
+            stranded_runs: reg.counter("topo.stranded_runs"),
+            adversarial_rounds: reg.counter("topo.adversarial_rounds"),
+        }
+    }
+}
+
+/// The dynamics series in the process-wide registry.
+pub fn topo_metrics() -> &'static TopoMetrics {
+    static GLOBAL: OnceLock<TopoMetrics> = OnceLock::new();
+    GLOBAL.get_or_init(|| TopoMetrics::register_in(pp_telemetry::global()))
+}

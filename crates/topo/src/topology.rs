@@ -1,0 +1,551 @@
+//! Interaction topologies with incremental, O(1)-amortised edge sampling.
+//!
+//! The paper (like most population-protocol work following Angluin et al.)
+//! assumes a *complete* interaction graph: any two agents may interact.
+//! This module is the single graph layer for the whole workspace (it
+//! replaces the old two-variant `pp_engine::graph` demo enum): a
+//! [`Topology`] trait over agent-index graphs, with two implementations —
+//! [`CompleteTopology`] (implicit, O(1) memory) and [`EdgeListTopology`]
+//! (explicit edge list + position map + adjacency lists, so edge insertion,
+//! edge deletion, uniform edge sampling, and agent join/leave are all
+//! O(degree) or better). Family constructors build rings, stars, torus
+//! grids, random-regular graphs (configuration model), and Chung–Lu
+//! power-law graphs.
+//!
+//! Restricted topologies matter here because the protocol's correctness
+//! argument genuinely depends on completeness: global fairness quantifies
+//! only over transitions the graph permits, and a ring can strand
+//! chain-builder agents whose neighbours are all settled. The `topo-*`
+//! sweep plans measure exactly where that assumption bites.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// An undirected interaction graph over agent indices `0..n`, mutable
+/// under agent churn.
+///
+/// Index contract: agent removal uses *swap-remove* semantics — the agent
+/// with the highest index takes the removed agent's slot — mirroring
+/// [`pp_engine::population::AgentPopulation::remove_agent`], so a
+/// population and its topology stay aligned by applying the same
+/// operations in the same order. Joins always append at the highest index.
+pub trait Topology {
+    /// Number of agents `n`.
+    fn num_agents(&self) -> usize;
+
+    /// Number of undirected edges currently enabled.
+    fn num_edges(&self) -> u64;
+
+    /// True if every pair of distinct agents may interact.
+    fn is_complete(&self) -> bool;
+
+    /// Degree of agent `u`.
+    fn degree(&self, u: usize) -> usize;
+
+    /// The `idx`-th neighbour of `u` (arbitrary but stable-between-
+    /// mutations order), `idx < degree(u)`.
+    fn neighbor_at(&self, u: usize, idx: usize) -> usize;
+
+    /// The `idx`-th enabled edge (arbitrary but stable-between-mutations
+    /// order), `idx < num_edges()`. Uniformly sampling `idx` yields a
+    /// uniform enabled edge.
+    fn edge_at(&self, idx: u64) -> (usize, usize);
+
+    /// Snapshot of every enabled edge as `(min, max)` index pairs.
+    /// O(|E|); intended for round-based schedulers and tests, not hot
+    /// sampling paths.
+    fn edges(&self) -> Vec<(u32, u32)>;
+
+    /// Add an agent at index `n`, attaching it to up to `degree_hint`
+    /// distinct existing agents chosen uniformly at random (complete
+    /// topologies ignore the hint — the newcomer connects to everyone).
+    /// Returns the new agent's index.
+    fn add_agent(&mut self, degree_hint: usize, rng: &mut SmallRng) -> usize;
+
+    /// Remove agent `u` and its incident edges, renaming the last agent
+    /// to `u` (swap-remove semantics, see the trait docs).
+    fn remove_agent(&mut self, u: usize);
+
+    /// Whether the graph is connected (a prerequisite for any nontrivial
+    /// computation to involve all agents).
+    fn is_connected(&self) -> bool;
+}
+
+/// The complete graph on `n` agents — the paper's model. Implicit: O(1)
+/// memory, all trait operations are arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompleteTopology {
+    n: usize,
+}
+
+impl CompleteTopology {
+    /// The complete graph on `n` agents.
+    pub fn new(n: usize) -> Self {
+        CompleteTopology { n }
+    }
+}
+
+impl Topology for CompleteTopology {
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> u64 {
+        let n = self.n as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    fn is_complete(&self) -> bool {
+        true
+    }
+
+    fn degree(&self, _u: usize) -> usize {
+        self.n.saturating_sub(1)
+    }
+
+    fn neighbor_at(&self, u: usize, idx: usize) -> usize {
+        debug_assert!(idx < self.n - 1);
+        if idx < u {
+            idx
+        } else {
+            idx + 1
+        }
+    }
+
+    fn edge_at(&self, idx: u64) -> (usize, usize) {
+        debug_assert!(idx < self.num_edges());
+        // Row-walk the triangular enumeration (i, j), j > i. Only
+        // round-based schedulers enumerate complete graphs, and they are
+        // O(|E|) per round regardless, so the O(n) walk is not a new cost.
+        let mut idx = idx;
+        let mut i = 0u64;
+        let n = self.n as u64;
+        loop {
+            let row = n - 1 - i;
+            if idx < row {
+                return (i as usize, (i + 1 + idx) as usize);
+            }
+            idx -= row;
+            i += 1;
+        }
+    }
+
+    fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges() as usize);
+        for i in 0..self.n as u32 {
+            for j in (i + 1)..self.n as u32 {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    fn add_agent(&mut self, _degree_hint: usize, _rng: &mut SmallRng) -> usize {
+        self.n += 1;
+        self.n - 1
+    }
+
+    fn remove_agent(&mut self, u: usize) {
+        assert!(u < self.n, "agent {u} out of range");
+        self.n -= 1;
+    }
+
+    fn is_connected(&self) -> bool {
+        true
+    }
+}
+
+/// Explicit edge-list topology: the general representation behind every
+/// non-complete family.
+///
+/// Three structures are kept mutually consistent:
+/// * `edges` — a dense vector of canonical `(min, max)` pairs, so a
+///   uniform enabled edge is one `gen_range` away;
+/// * `pos` — edge → index in `edges`, so deletion is an O(1) swap-remove;
+/// * `adj` — per-agent neighbour lists, so degree/neighbour queries and
+///   incident-edge enumeration under churn are O(degree).
+#[derive(Clone, Debug, Default)]
+pub struct EdgeListTopology {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+    pos: HashMap<(u32, u32), usize>,
+}
+
+#[inline]
+fn canon(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl EdgeListTopology {
+    /// An explicit edge list on `n` agents. Edges must connect distinct
+    /// in-range agents and must not repeat.
+    ///
+    /// # Panics
+    /// On self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let mut t = EdgeListTopology {
+            adj: vec![Vec::new(); n],
+            edges: Vec::with_capacity(edges.len()),
+            pos: HashMap::with_capacity(edges.len()),
+        };
+        for (u, v) in edges {
+            assert!(u != v, "self-loop ({u}, {v})");
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            assert!(t.insert_edge(u, v), "duplicate edge ({u}, {v})");
+        }
+        t
+    }
+
+    /// A cycle `0 — 1 — … — (n−1) — 0`. Requires `n ≥ 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 agents");
+        let edges = (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
+        Self::from_edges(n, edges)
+    }
+
+    /// A star with agent 0 at the centre. Requires `n ≥ 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 agents");
+        let edges = (1..n as u32).map(|v| (0, v)).collect();
+        Self::from_edges(n, edges)
+    }
+
+    /// A `rows × cols` torus grid (wrap-around in both directions),
+    /// `n = rows · cols`. Requires `rows ≥ 3` and `cols ≥ 3` so wrap
+    /// edges never duplicate interior edges.
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "a torus needs both sides >= 3");
+        let n = rows * cols;
+        let at = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut edges = Vec::with_capacity(2 * n);
+        for r in 0..rows {
+            for c in 0..cols {
+                edges.push((at(r, c), at(r, (c + 1) % cols)));
+                edges.push((at(r, c), at((r + 1) % rows, c)));
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// A random `d`-regular graph via the configuration (stub-pairing)
+    /// model: `d` stubs per agent, shuffled, paired consecutively, with
+    /// whole-shuffle retries until the pairing is simple. Requires
+    /// `1 ≤ d < n` and `n · d` even.
+    ///
+    /// # Panics
+    /// If no simple pairing is found in 1000 attempts (for `d ≪ n` the
+    /// success probability per attempt is bounded away from zero, so this
+    /// is unreachable in practice).
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!(d >= 1 && d < n, "degree must satisfy 1 <= d < n");
+        assert!(n * d % 2 == 0, "n * d must be even");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|u| std::iter::repeat_n(u, d))
+            .collect();
+        'attempt: for _ in 0..1000 {
+            stubs.shuffle(&mut rng);
+            let mut t = EdgeListTopology {
+                adj: vec![Vec::new(); n],
+                edges: Vec::with_capacity(n * d / 2),
+                pos: HashMap::with_capacity(n * d / 2),
+            };
+            for pair in stubs.chunks_exact(2) {
+                let (u, v) = (pair[0], pair[1]);
+                if u == v || !t.insert_edge(u, v) {
+                    continue 'attempt;
+                }
+            }
+            return t;
+        }
+        panic!("random_regular(n={n}, d={d}): no simple pairing in 1000 attempts");
+    }
+
+    /// A Chung–Lu power-law graph with degree exponent `beta =
+    /// gamma_x10 / 10` (so `gamma_x10 = 25` means β = 2.5), expected mean
+    /// degree ≈ 4, with a ring backbone unioned in so the graph is always
+    /// connected (documented deviation from the bare Chung–Lu model; the
+    /// backbone adds exactly 2 to every expected degree). O(n²) build —
+    /// intended for the sweep-scale populations the `topo-*` plans use,
+    /// not giant n. Requires `n ≥ 3` and β > 1.
+    pub fn power_law(n: usize, gamma_x10: u32, seed: u64) -> Self {
+        assert!(n >= 3, "a power-law graph needs at least 3 agents");
+        assert!(gamma_x10 > 10, "degree exponent must exceed 1.0");
+        let beta = gamma_x10 as f64 / 10.0;
+        let exp = -1.0 / (beta - 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Expected-degree weights: raw power-law ranks scaled to mean
+        // degree 4, then p(u, v) = min(1, w_u * w_v / sum(w)).
+        let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exp)).collect();
+        let raw_sum: f64 = raw.iter().sum();
+        let mean_degree = 4.0;
+        let w: Vec<f64> = raw
+            .iter()
+            .map(|r| mean_degree * n as f64 * r / raw_sum)
+            .collect();
+        let w_sum = mean_degree * n as f64;
+        let mut t = Self::ring(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let p = (w[u as usize] * w[v as usize] / w_sum).min(1.0);
+                if rng.gen_bool(p) && !t.pos.contains_key(&(u, v)) {
+                    t.insert_edge(u, v);
+                }
+            }
+        }
+        t
+    }
+
+    /// Insert the undirected edge `{u, v}`; false if already present.
+    fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        let key = canon(u, v);
+        if self.pos.contains_key(&key) {
+            return false;
+        }
+        self.pos.insert(key, self.edges.len());
+        self.edges.push(key);
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        true
+    }
+
+    /// Delete the undirected edge `{u, v}` (must exist).
+    fn delete_edge(&mut self, u: u32, v: u32) {
+        let key = canon(u, v);
+        let idx = self.pos.remove(&key).expect("edge not present");
+        self.edges.swap_remove(idx);
+        if idx < self.edges.len() {
+            self.pos.insert(self.edges[idx], idx);
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let list = &mut self.adj[a as usize];
+            let at = list.iter().position(|&x| x == b).expect("adjacency desync");
+            list.swap_remove(at);
+        }
+    }
+}
+
+impl Topology for EdgeListTopology {
+    fn num_agents(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    fn neighbor_at(&self, u: usize, idx: usize) -> usize {
+        self.adj[u][idx] as usize
+    }
+
+    fn edge_at(&self, idx: u64) -> (usize, usize) {
+        let (u, v) = self.edges[idx as usize];
+        (u as usize, v as usize)
+    }
+
+    fn edges(&self) -> Vec<(u32, u32)> {
+        self.edges.clone()
+    }
+
+    fn add_agent(&mut self, degree_hint: usize, rng: &mut SmallRng) -> usize {
+        let new = self.adj.len() as u32;
+        self.adj.push(Vec::new());
+        let existing = new as usize;
+        let want = degree_hint.min(existing);
+        let mut targets: Vec<u32> = Vec::with_capacity(want);
+        while targets.len() < want {
+            let v = rng.gen_range(0..existing) as u32;
+            if !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        for v in targets {
+            self.insert_edge(new, v);
+        }
+        new as usize
+    }
+
+    fn remove_agent(&mut self, u: usize) {
+        assert!(u < self.adj.len(), "agent {u} out of range");
+        // 1. Detach u. (Iterate a snapshot: delete_edge edits adj[u].)
+        let nbrs: Vec<u32> = self.adj[u].clone();
+        for v in nbrs {
+            self.delete_edge(u as u32, v);
+        }
+        // 2. Swap-remove: rename the last agent to u. Its edges are
+        // detached (none of them can touch u — u has no edges left) and
+        // re-inserted under the new name.
+        let last = self.adj.len() - 1;
+        if u != last {
+            let moved: Vec<u32> = self.adj[last].clone();
+            for &v in &moved {
+                self.delete_edge(last as u32, v);
+            }
+            for v in moved {
+                self.insert_edge(u as u32, v);
+            }
+        }
+        self.adj.pop();
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.adj.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The first three tests are migrated from the old `pp_engine::graph`
+    // module, which this crate replaces.
+    #[test]
+    fn ring_and_star_shapes() {
+        let r = EdgeListTopology::ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert!(r.is_connected());
+        let s = EdgeListTopology::star(5);
+        assert_eq!(s.num_edges(), 4);
+        assert!(s.is_connected());
+        let c = CompleteTopology::new(5);
+        assert_eq!(c.num_edges(), 10);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = EdgeListTopology::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        EdgeListTopology::from_edges(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        EdgeListTopology::from_edges(3, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = EdgeListTopology::torus(3, 4);
+        assert_eq!(t.num_agents(), 12);
+        // Every torus vertex has degree 4 and |E| = 2n.
+        assert_eq!(t.num_edges(), 24);
+        for u in 0..12 {
+            assert_eq!(t.degree(u), 4, "vertex {u}");
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn random_regular_is_regular_simple_and_seeded() {
+        let a = EdgeListTopology::random_regular(20, 4, 9);
+        assert_eq!(a.num_edges(), 40);
+        for u in 0..20 {
+            assert_eq!(a.degree(u), 4, "vertex {u}");
+        }
+        let b = EdgeListTopology::random_regular(20, 4, 9);
+        assert_eq!(a.edges(), b.edges(), "same seed, same graph");
+        let c = EdgeListTopology::random_regular(20, 4, 10);
+        assert_ne!(a.edges(), c.edges(), "different seed, different graph");
+    }
+
+    #[test]
+    fn power_law_is_connected_and_seeded() {
+        let a = EdgeListTopology::power_law(50, 25, 3);
+        assert!(a.is_connected(), "ring backbone guarantees connectivity");
+        assert!(a.num_edges() >= 50, "at least the backbone");
+        let b = EdgeListTopology::power_law(50, 25, 3);
+        assert_eq!(a.edges(), b.edges());
+        // Heavy head: the first-ranked agent out-degrees the last-ranked.
+        assert!(a.degree(0) > a.degree(49));
+    }
+
+    #[test]
+    fn complete_edge_enumeration_roundtrips() {
+        let c = CompleteTopology::new(6);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..c.num_edges() {
+            let (u, v) = c.edge_at(idx);
+            assert!(u < v && v < 6);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 15);
+        // neighbor_at(u, ·) enumerates everyone but u.
+        let nbrs: Vec<usize> = (0..5).map(|i| c.neighbor_at(3, i)).collect();
+        assert_eq!(nbrs, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn churn_mutation_keeps_structures_consistent() {
+        let mut g = EdgeListTopology::ring(6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Join: attaches to 2 random agents.
+        let idx = g.add_agent(2, &mut rng);
+        assert_eq!(idx, 6);
+        assert_eq!(g.num_agents(), 7);
+        assert_eq!(g.degree(6), 2);
+        assert_eq!(g.num_edges(), 8);
+        // Leave agent 0: last agent (6) is renamed to 0. It keeps its
+        // edges, minus any edge it had to the departing agent.
+        let deg6 = g.degree(6) - usize::from(g.adj[6].contains(&0));
+        g.remove_agent(0);
+        assert_eq!(g.num_agents(), 6);
+        assert_eq!(g.degree(0), deg6, "renamed agent keeps surviving edges");
+        // Edge vector, position map and adjacency must still agree.
+        let edges = g.edges();
+        assert_eq!(edges.len() as u64, g.num_edges());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert_eq!(g.edge_at(i as u64), (u as usize, v as usize));
+            assert!(g.adj.get(u as usize).is_some_and(|l| l.contains(&v)));
+            assert!(g.adj.get(v as usize).is_some_and(|l| l.contains(&u)));
+        }
+        let degree_sum: usize = (0..g.num_agents()).map(|u| g.degree(u)).sum();
+        assert_eq!(degree_sum as u64, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn removing_star_centre_strands_everyone() {
+        let mut g = EdgeListTopology::star(5);
+        g.remove_agent(0);
+        assert_eq!(g.num_agents(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.is_connected());
+    }
+}

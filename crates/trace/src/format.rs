@@ -9,13 +9,19 @@
 //!          initial counts                                (varints + strings)
 //! records  tag 0: effective  (Δstep, p, q, p2, q2)       (varints)
 //!          tag 1: identity   (Δlast, skipped)            (varints)
+//!          tag 3: lifecycle  (Δstep, kind, state)        (varints)
 //! footer   tag 2: final counts, FNV-1a-64 checksum       (varints + 8 bytes LE)
 //! ```
 //!
 //! All integers are LEB128 varints; steps are *deltas* against the last
 //! step covered by the previous record, so a trace of a converging run
 //! costs a few bytes per effective interaction regardless of how many
-//! identity interactions separate them. The checksum covers every byte
+//! identity interactions separate them. Lifecycle records (churn events
+//! from `pp-topo`'s dynamics runner) happen *between* interactions, so
+//! their step delta may be zero — the event follows the interaction the
+//! previous record ended on. They change the population size: the
+//! header's `n` is the *initial* population, and the footer's counts sum
+//! to `n` plus the net of all lifecycle records. The checksum covers every byte
 //! from the magic up to (excluding) the checksum itself; decoding rejects
 //! bad magic, truncation, trailing garbage, and checksum mismatches with
 //! a typed [`TraceError`], mirroring the sweep journal's
@@ -23,6 +29,7 @@
 //! is written once and must be complete, so corruption is an error rather
 //! than a recoverable prefix.
 
+use pp_engine::observer::LifecycleKind;
 use std::fmt;
 
 /// Magic bytes opening every trace file (format version 1).
@@ -34,6 +41,9 @@ pub const TAG_EFFECTIVE: u64 = 0;
 pub const TAG_IDENTITY_RUN: u64 = 1;
 /// Record tag: the footer (final counts + checksum); ends the stream.
 pub const TAG_FOOTER: u64 = 2;
+/// Record tag: a lifecycle event (join/leave/crash) applied by a dynamics
+/// layer between interactions.
+pub const TAG_LIFECYCLE: u64 = 3;
 
 /// Which simulation kernel produced a trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +127,20 @@ pub enum TraceRecord {
         /// Length of the run (`≥ 1`).
         skipped: u64,
     },
+    /// A lifecycle event applied after interaction `step` (before
+    /// `step + 1`): a join adds one agent in `state`, a leave/crash
+    /// removes one agent whose last state was `state`.
+    Lifecycle {
+        /// Interaction count when the event was applied (may equal the
+        /// previous record's last step — the event sits between
+        /// interactions).
+        step: u64,
+        /// Join, leave, or crash.
+        kind: LifecycleKind,
+        /// The joining agent's initial state or the departing agent's
+        /// last state.
+        state: u16,
+    },
 }
 
 impl TraceRecord {
@@ -125,6 +149,19 @@ impl TraceRecord {
         match *self {
             TraceRecord::Effective { step, .. } => step,
             TraceRecord::IdentityRun { last_step, .. } => last_step,
+            TraceRecord::Lifecycle { step, .. } => step,
+        }
+    }
+
+    /// Population-size delta this record applies (±1 for lifecycle
+    /// records, 0 otherwise).
+    pub fn population_delta(&self) -> i64 {
+        match self {
+            TraceRecord::Lifecycle { kind, .. } => match kind {
+                LifecycleKind::Join => 1,
+                LifecycleKind::Leave | LifecycleKind::Crash => -1,
+            },
+            _ => 0,
         }
     }
 }

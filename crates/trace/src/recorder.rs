@@ -9,9 +9,9 @@
 
 use crate::format::{
     encode_header, fnv1a64, put_varint, TraceHeader, TraceKernel, TAG_EFFECTIVE, TAG_FOOTER,
-    TAG_IDENTITY_RUN,
+    TAG_IDENTITY_RUN, TAG_LIFECYCLE,
 };
-use pp_engine::observer::Observer;
+use pp_engine::observer::{LifecycleKind, Observer};
 use pp_engine::population::{CountPopulation, Population};
 use pp_engine::protocol::{CompiledProtocol, StateId};
 
@@ -35,6 +35,7 @@ pub struct TraceRecorder {
     pending_identities: u64,
     effective: u64,
     identity: u64,
+    lifecycle: u64,
     enabled: bool,
 }
 
@@ -47,6 +48,7 @@ impl TraceRecorder {
             pending_identities: 0,
             effective: 0,
             identity: 0,
+            lifecycle: 0,
             enabled: true,
         }
     }
@@ -81,6 +83,7 @@ impl TraceRecorder {
             pending_identities: 0,
             effective: 0,
             identity: 0,
+            lifecycle: 0,
             enabled: false,
         }
     }
@@ -98,6 +101,11 @@ impl TraceRecorder {
     /// Identity interactions covered so far (coalesced or leap-reported).
     pub fn identity_recorded(&self) -> u64 {
         self.identity
+    }
+
+    /// Lifecycle events (joins/leaves/crashes) recorded so far.
+    pub fn lifecycle_recorded(&self) -> u64 {
+        self.lifecycle
     }
 
     /// Bytes encoded so far (header + records; no footer yet).
@@ -173,6 +181,24 @@ impl Observer for TraceRecorder {
         put_varint(&mut self.buf, skipped);
         self.emitted_step = last_step;
         self.identity += skipped;
+    }
+
+    #[inline]
+    fn on_lifecycle(&mut self, step: u64, kind: LifecycleKind, state: StateId, _counts: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        // A lifecycle event may share its step with the interaction that
+        // preceded it, so a zero delta is legal here (unlike effective
+        // records). Pending identities must flush first to keep records
+        // in event order.
+        self.flush_identities();
+        put_varint(&mut self.buf, TAG_LIFECYCLE);
+        put_varint(&mut self.buf, step - self.emitted_step);
+        put_varint(&mut self.buf, kind.code());
+        put_varint(&mut self.buf, state.0 as u64);
+        self.emitted_step = step;
+        self.lifecycle += 1;
     }
 }
 
@@ -255,7 +281,62 @@ mod tests {
         let mut rec = TraceRecorder::disabled();
         rec.on_interaction(1, a, a, a, a, &[4, 0]);
         rec.on_identity_run(9, 8, &[4, 0]);
+        rec.on_lifecycle(2, LifecycleKind::Join, a, &[5, 0]);
         assert_eq!(rec.bytes_so_far(), 0);
         assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn lifecycle_records_round_trip_with_net_churn() {
+        let a = StateId(0);
+        let b = StateId(1);
+        let mut rec = TraceRecorder::new(&header2());
+        rec.on_interaction(1, a, a, b, b, &[2, 2]);
+        // Same step as the interaction: zero delta on the wire.
+        rec.on_lifecycle(1, LifecycleKind::Join, a, &[3, 2]);
+        rec.on_interaction(2, a, a, a, a, &[3, 2]); // identity, coalesced
+                                                    // Lifecycle must flush the pending identity run first.
+        rec.on_lifecycle(2, LifecycleKind::Crash, b, &[3, 1]);
+        rec.on_lifecycle(2, LifecycleKind::Leave, a, &[2, 1]);
+        assert_eq!(rec.lifecycle_recorded(), 3);
+        let bytes = rec.finish(&[2, 1]);
+        let trace = Trace::decode(&bytes).unwrap();
+        use crate::format::TraceRecord::*;
+        assert_eq!(
+            trace.records,
+            vec![
+                Effective {
+                    step: 1,
+                    p: 0,
+                    q: 0,
+                    p2: 1,
+                    q2: 1
+                },
+                Lifecycle {
+                    step: 1,
+                    kind: LifecycleKind::Join,
+                    state: 0
+                },
+                IdentityRun {
+                    last_step: 2,
+                    skipped: 1
+                },
+                Lifecycle {
+                    step: 2,
+                    kind: LifecycleKind::Crash,
+                    state: 1
+                },
+                Lifecycle {
+                    step: 2,
+                    kind: LifecycleKind::Leave,
+                    state: 0
+                },
+            ]
+        );
+        // Footer sums to initial n (4) plus net churn (+1 − 2 = −1).
+        assert_eq!(trace.final_counts.iter().sum::<u64>(), 3);
+        let summary = trace.replay().unwrap();
+        assert_eq!(summary.lifecycle, 3);
+        assert_eq!(summary.final_counts, vec![2, 1]);
     }
 }

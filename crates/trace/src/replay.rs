@@ -11,8 +11,9 @@
 
 use crate::format::{
     decode_header, fnv1a64, Reader, TraceError, TraceHeader, TraceRecord, TAG_EFFECTIVE,
-    TAG_FOOTER, TAG_IDENTITY_RUN,
+    TAG_FOOTER, TAG_IDENTITY_RUN, TAG_LIFECYCLE,
 };
+use pp_engine::observer::LifecycleKind;
 use pp_engine::protocol::{CompiledProtocol, StateId};
 
 /// A fully decoded trace: header, records (absolute steps), final counts.
@@ -35,6 +36,8 @@ pub struct ReplaySummary {
     pub effective: u64,
     /// Identity interactions covered by identity-run records.
     pub identity: u64,
+    /// Lifecycle events replayed (joins + leaves + crashes).
+    pub lifecycle: u64,
     /// The replayed final configuration (equals the footer's).
     pub final_counts: Vec<u64>,
 }
@@ -47,6 +50,9 @@ impl Trace {
         let s = header.state_names.len();
         let mut records = Vec::new();
         let mut step = 0u64;
+        // Net population change from lifecycle records; the footer's
+        // counts must sum to the initial n plus this.
+        let mut net: i64 = 0;
         loop {
             let tag = r.varint()?;
             match tag {
@@ -99,6 +105,37 @@ impl Trace {
                         skipped,
                     });
                 }
+                TAG_LIFECYCLE => {
+                    // Lifecycle events sit between interactions: a zero
+                    // step delta is legal (the event follows the
+                    // interaction the previous record ended on).
+                    let dstep = r.varint()?;
+                    step = step.checked_add(dstep).ok_or(TraceError::Malformed {
+                        what: "step overflow",
+                    })?;
+                    let kind =
+                        LifecycleKind::from_code(r.varint()?).ok_or(TraceError::Malformed {
+                            what: "unknown lifecycle kind",
+                        })?;
+                    let state = r.varint()?;
+                    if state > u16::MAX as u64 {
+                        return Err(TraceError::Malformed {
+                            what: "state id overflows u16",
+                        });
+                    }
+                    let state = state as u16;
+                    if state as usize >= s {
+                        return Err(TraceError::StateOutOfRange { step, state });
+                    }
+                    let rec = TraceRecord::Lifecycle { step, kind, state };
+                    net += rec.population_delta();
+                    if (header.n as i64) + net < 0 {
+                        return Err(TraceError::Malformed {
+                            what: "lifecycle records drop population below zero",
+                        });
+                    }
+                    records.push(rec);
+                }
                 TAG_FOOTER => {
                     let mut final_counts = Vec::with_capacity(s);
                     for _ in 0..s {
@@ -116,9 +153,12 @@ impl Trace {
                     if stored != computed {
                         return Err(TraceError::ChecksumMismatch { stored, computed });
                     }
-                    if final_counts.iter().sum::<u64>() != header.n {
+                    // The header's n is the *initial* population;
+                    // lifecycle records shift the final total.
+                    let expected = (header.n as i64) + net;
+                    if final_counts.iter().sum::<u64>() != expected as u64 {
                         return Err(TraceError::BadHeader {
-                            what: "final counts do not sum to n",
+                            what: "final counts do not sum to n plus net churn",
                         });
                     }
                     return Ok(Trace {
@@ -183,6 +223,7 @@ impl Trace {
         let mut counts = self.header.initial_counts.clone();
         let mut effective = 0u64;
         let mut identity = 0u64;
+        let mut lifecycle = 0u64;
         for rec in &self.records {
             match *rec {
                 TraceRecord::Effective { step, p, q, p2, q2 } => {
@@ -196,6 +237,10 @@ impl Trace {
                     effective += 1;
                 }
                 TraceRecord::IdentityRun { skipped, .. } => identity += skipped,
+                TraceRecord::Lifecycle { step, kind, state } => {
+                    apply_lifecycle(&mut counts, step, kind, state)?;
+                    lifecycle += 1;
+                }
             }
         }
         if counts != self.final_counts {
@@ -205,6 +250,7 @@ impl Trace {
             interactions: self.last_step(),
             effective,
             identity,
+            lifecycle,
             final_counts: counts,
         })
     }
@@ -224,29 +270,50 @@ impl Trace {
                 }
                 // Identity runs never change counts; skip them.
                 TraceRecord::IdentityRun { .. } => {}
+                TraceRecord::Lifecycle { step, kind, state } => {
+                    if step > t {
+                        break;
+                    }
+                    apply_lifecycle(&mut counts, step, kind, state)?;
+                }
             }
         }
         Ok(counts)
     }
 
-    /// Build a checkpoint index with one snapshot every `stride` effective
-    /// records (`stride ≥ 1`), enabling O(stride) random access.
+    /// Build a checkpoint index with one snapshot every `stride`
+    /// count-changing records (`stride ≥ 1`), enabling O(stride) random
+    /// access.
     pub fn index(&self, stride: usize) -> TraceIndex {
         assert!(stride >= 1, "index stride must be at least 1");
-        let mut checkpoints = vec![(0u64, self.header.initial_counts.clone())];
+        let mut checkpoints = vec![Checkpoint {
+            applied: 0,
+            step: 0,
+            counts: self.header.initial_counts.clone(),
+        }];
         let mut counts = self.header.initial_counts.clone();
         let mut since = 0usize;
-        for rec in &self.records {
-            if let TraceRecord::Effective { step, p, q, p2, q2 } = *rec {
-                // Records decoded by `Trace::decode` cannot underflow n,
-                // but tolerate hand-built traces by saturating here; the
-                // authoritative check lives in `replay`.
-                let _ = apply(&mut counts, step, p, q, p2, q2);
-                since += 1;
-                if since == stride {
-                    checkpoints.push((step, counts.clone()));
-                    since = 0;
+        for (i, rec) in self.records.iter().enumerate() {
+            // Records decoded by `Trace::decode` cannot underflow n, but
+            // tolerate hand-built traces by ignoring failures here; the
+            // authoritative check lives in `replay`.
+            match *rec {
+                TraceRecord::Effective { step, p, q, p2, q2 } => {
+                    let _ = apply(&mut counts, step, p, q, p2, q2);
                 }
+                TraceRecord::IdentityRun { .. } => continue,
+                TraceRecord::Lifecycle { step, kind, state } => {
+                    let _ = apply_lifecycle(&mut counts, step, kind, state);
+                }
+            }
+            since += 1;
+            if since == stride {
+                checkpoints.push(Checkpoint {
+                    applied: i + 1,
+                    step: rec.last_step(),
+                    counts: counts.clone(),
+                });
+                since = 0;
             }
         }
         TraceIndex {
@@ -276,13 +343,46 @@ fn apply(
     Ok(())
 }
 
+/// Apply one lifecycle event to a count vector.
+fn apply_lifecycle(
+    counts: &mut [u64],
+    step: u64,
+    kind: LifecycleKind,
+    state: u16,
+) -> Result<(), TraceError> {
+    match kind {
+        LifecycleKind::Join => counts[state as usize] += 1,
+        LifecycleKind::Leave | LifecycleKind::Crash => {
+            let c = &mut counts[state as usize];
+            *c = c
+                .checked_sub(1)
+                .ok_or(TraceError::CountUnderflow { step, state })?;
+        }
+    }
+    Ok(())
+}
+
+/// One snapshot in a [`TraceIndex`]: the configuration after the first
+/// `applied` records. Keyed by record position rather than step because
+/// a lifecycle record may share its step with the preceding interaction
+/// (zero step delta), making steps alone ambiguous resume points.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    /// Number of records consumed to reach this snapshot.
+    applied: usize,
+    /// Step of the last record consumed (0 for the initial snapshot).
+    step: u64,
+    /// Configuration counts at this point.
+    counts: Vec<u64>,
+}
+
 /// Evenly spaced configuration checkpoints over a trace, for random
 /// access to "configuration at step t" without replaying from the start.
 #[derive(Clone, Debug)]
 pub struct TraceIndex {
     stride: usize,
-    /// `(step, counts)` snapshots; the first is `(0, initial)`.
-    checkpoints: Vec<(u64, Vec<u64>)>,
+    /// Snapshots in record order; the first is the initial configuration.
+    checkpoints: Vec<Checkpoint>,
 }
 
 impl TraceIndex {
@@ -296,7 +396,7 @@ impl TraceIndex {
         self.checkpoints.len() <= 1
     }
 
-    /// Checkpoint stride in effective records.
+    /// Checkpoint stride in count-changing records.
     pub fn stride(&self) -> usize {
         self.stride
     }
@@ -306,19 +406,29 @@ impl TraceIndex {
     pub fn config_at(&self, trace: &Trace, t: u64) -> Result<Vec<u64>, TraceError> {
         let i = self
             .checkpoints
-            .partition_point(|(step, _)| *step <= t)
+            .partition_point(|c| c.step <= t)
             .saturating_sub(1);
-        let (from_step, base) = &self.checkpoints[i];
-        let mut counts = base.clone();
-        for rec in &trace.records {
-            if let TraceRecord::Effective { step, p, q, p2, q2 } = *rec {
-                if step <= *from_step {
-                    continue;
+        let cp = &self.checkpoints[i];
+        let mut counts = cp.counts.clone();
+        for rec in &trace.records[cp.applied..] {
+            match *rec {
+                TraceRecord::Effective { step, p, q, p2, q2 } => {
+                    if step > t {
+                        break;
+                    }
+                    apply(&mut counts, step, p, q, p2, q2)?;
                 }
-                if step > t {
-                    break;
+                TraceRecord::IdentityRun { last_step, .. } => {
+                    if last_step > t {
+                        break;
+                    }
                 }
-                apply(&mut counts, step, p, q, p2, q2)?;
+                TraceRecord::Lifecycle { step, kind, state } => {
+                    if step > t {
+                        break;
+                    }
+                    apply_lifecycle(&mut counts, step, kind, state)?;
+                }
             }
         }
         Ok(counts)
@@ -395,6 +505,116 @@ mod tests {
                 "unexpected error at prefix {len}: {err:?}"
             );
         }
+    }
+
+    /// A trace with churn: the index must resume correctly even when a
+    /// lifecycle record shares its step with an interaction (zero delta).
+    fn churn_trace() -> Vec<u8> {
+        let header = TraceHeader {
+            protocol: "toy".into(),
+            state_names: vec!["a".into(), "b".into()],
+            n: 4,
+            seed: 3,
+            kernel: TraceKernel::Naive,
+            initial_counts: vec![4, 0],
+        };
+        let a = StateId(0);
+        let b = StateId(1);
+        let mut rec = TraceRecorder::new(&header);
+        rec.on_interaction(1, a, a, b, b, &[2, 2]);
+        rec.on_lifecycle(1, LifecycleKind::Join, b, &[2, 3]);
+        rec.on_interaction(3, a, a, b, b, &[0, 5]);
+        rec.on_lifecycle(3, LifecycleKind::Leave, b, &[0, 4]);
+        rec.on_lifecycle(3, LifecycleKind::Crash, b, &[0, 3]);
+        rec.finish(&[0, 3])
+    }
+
+    #[test]
+    fn lifecycle_shifts_population_and_config_at() {
+        let trace = Trace::decode(&churn_trace()).unwrap();
+        let summary = trace.replay().unwrap();
+        assert_eq!(summary.lifecycle, 3);
+        assert_eq!(summary.final_counts, vec![0, 3]);
+        assert_eq!(trace.config_at(0).unwrap(), vec![4, 0]);
+        // Step 1 includes the interaction AND the same-step join.
+        assert_eq!(trace.config_at(1).unwrap(), vec![2, 3]);
+        assert_eq!(trace.config_at(2).unwrap(), vec![2, 3]);
+        assert_eq!(trace.config_at(3).unwrap(), vec![0, 3]);
+        // Every stride must agree with the linear scan, including
+        // strides that checkpoint mid-way through a same-step cluster.
+        for stride in 1..=6 {
+            let idx = trace.index(stride);
+            for t in 0..=4 {
+                assert_eq!(
+                    idx.config_at(&trace, t).unwrap(),
+                    trace.config_at(t).unwrap(),
+                    "stride {stride}, t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_underflow_and_bad_kind_rejected() {
+        let header = TraceHeader {
+            protocol: "toy".into(),
+            state_names: vec!["a".into(), "b".into()],
+            n: 2,
+            seed: 0,
+            kernel: TraceKernel::Naive,
+            initial_counts: vec![2, 0],
+        };
+        // Removing from an empty state underflows during replay.
+        let mut rec = TraceRecorder::new(&header);
+        rec.on_lifecycle(1, LifecycleKind::Leave, StateId(1), &[2, 0]);
+        rec.on_lifecycle(1, LifecycleKind::Join, StateId(1), &[2, 0]);
+        let bytes = rec.finish(&[2, 0]);
+        let trace = Trace::decode(&bytes).unwrap();
+        assert!(matches!(
+            trace.replay(),
+            Err(TraceError::CountUnderflow { step: 1, state: 1 })
+        ));
+        // An unknown lifecycle kind code is rejected at decode time:
+        // patch the kind byte (tag, delta, kind, state = 4 trailing
+        // varint bytes before the footer in this tiny trace).
+        let mut rec = TraceRecorder::new(&header);
+        rec.on_lifecycle(1, LifecycleKind::Join, StateId(0), &[3, 0]);
+        let mut bytes = rec.finish(&[3, 0]);
+        let kind_pos = bytes.len() - 8 - 1 - 2 - 1 - 1; // checksum, footer counts+tag, state
+        assert_eq!(bytes[kind_pos], LifecycleKind::Join.code() as u8);
+        bytes[kind_pos] = 9;
+        // Checksum now stale; recompute so the kind check is what trips.
+        let body = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Trace::decode(&bytes),
+            Err(TraceError::Malformed {
+                what: "unknown lifecycle kind"
+            })
+        ));
+    }
+
+    #[test]
+    fn footer_must_sum_to_n_plus_net_churn() {
+        let header = TraceHeader {
+            protocol: "toy".into(),
+            state_names: vec!["a".into()],
+            n: 2,
+            seed: 0,
+            kernel: TraceKernel::Naive,
+            initial_counts: vec![2],
+        };
+        let mut rec = TraceRecorder::new(&header);
+        rec.on_lifecycle(1, LifecycleKind::Join, StateId(0), &[3]);
+        // Footer claims the pre-churn population: must be rejected.
+        let bytes = rec.finish(&[2]);
+        assert!(matches!(
+            Trace::decode(&bytes),
+            Err(TraceError::BadHeader {
+                what: "final counts do not sum to n plus net churn"
+            })
+        ));
     }
 
     #[test]

@@ -101,8 +101,8 @@ fn main() {
     // On a ring the chain-builder can still meet everyone eventually, but
     // scheduling is graph-limited; this is outside the paper's model
     // (complete graphs) and shown here only as an engine capability.
-    let g = pp_engine::graph::InteractionGraph::ring(survivors as usize);
-    let mut ring_sched = pp_engine::graph::GraphScheduler::new(g, 15);
+    let g = uniform_k_partition::topo::EdgeListTopology::ring(survivors as usize);
+    let mut ring_sched = uniform_k_partition::topo::TopologyScheduler::uniform(Box::new(g), 15);
     let mut ring_pop = AgentPopulation::new(&proto, survivors as usize);
     let _ = ring_sched.select_agents(&ring_pop);
     let res = Simulator::new(&proto).run_agents(

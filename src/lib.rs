@@ -20,6 +20,8 @@
 //!   ([`pp_telemetry`]).
 //! * [`trace`] — recordable, replayable execution traces with
 //!   protocol-semantic convergence diagnostics ([`pp_trace`]).
+//! * [`topo`] — graph-structured populations, churn, and
+//!   adversarial-but-fair schedulers ([`pp_topo`]).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use pp_analysis as analysis;
 pub use pp_engine as engine;
 pub use pp_protocols as protocols;
 pub use pp_telemetry as telemetry;
+pub use pp_topo as topo;
 pub use pp_trace as trace;
 pub use pp_verify as verify;
 
@@ -89,5 +92,6 @@ mod facade_tests {
         assert_eq!(g.num_configs(), 1);
         assert_eq!(crate::telemetry::bucket_of(0), 0);
         assert_eq!(crate::trace::TraceKernel::Leap.name(), "leap");
+        assert!(crate::topo::Dynamics::default_dynamics().is_default());
     }
 }

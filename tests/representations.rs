@@ -3,8 +3,8 @@
 //! statistically interchangeable, and the graph scheduler on a complete
 //! graph must match the uniform-pair scheduler.
 
-use pp_engine::graph::{GraphScheduler, InteractionGraph};
 use pp_engine::population::AgentPopulation;
+use pp_topo::{CompleteTopology, EdgeListTopology, TopologyScheduler};
 use uniform_k_partition::prelude::*;
 
 /// Means of interactions-to-stability from the two representations agree
@@ -48,7 +48,7 @@ fn count_and_agent_representations_agree_statistically() {
     );
 }
 
-/// The complete-graph GraphScheduler is the same process as the
+/// The complete-graph TopologyScheduler is the same process as the
 /// uniform-pair scheduler: identical stable outcomes, comparable cost.
 #[test]
 fn complete_graph_scheduler_equivalent_to_uniform() {
@@ -59,7 +59,7 @@ fn complete_graph_scheduler_equivalent_to_uniform() {
     let mut sum = 0u64;
     for seed in 0..30 {
         let mut pop = AgentPopulation::new(&proto, n);
-        let mut sched = GraphScheduler::new(InteractionGraph::complete(n), seed);
+        let mut sched = TopologyScheduler::uniform(Box::new(CompleteTopology::new(n)), seed);
         sum += Simulator::new(&proto)
             .run_agents(&mut pop, &mut sched, &sig, kp.interaction_budget(n as u64))
             .unwrap()
@@ -118,7 +118,7 @@ fn star_graph_cannot_partition() {
     let n = 9usize;
     let sig = kp.stable_signature(n as u64);
     let mut pop = AgentPopulation::new(&proto, n);
-    let mut sched = GraphScheduler::new(InteractionGraph::star(n), 8);
+    let mut sched = TopologyScheduler::uniform(Box::new(EdgeListTopology::star(n)), 8);
     let res = Simulator::new(&proto).run_agents(&mut pop, &mut sched, &sig, 200_000);
     assert!(res.is_err(), "bipartition cannot stabilise on a star");
     // Exactly one pair (hub + one leaf) ever settles: one agent in g2.
