@@ -78,6 +78,7 @@ pub mod fleet;
 pub mod leap;
 pub mod metrics;
 pub mod observer;
+pub mod phase;
 pub mod population;
 pub mod protocol;
 pub mod scheduler;
@@ -90,6 +91,7 @@ pub mod trace;
 pub use batch::{BatchConfig, BatchCore, BatchTrial, Scratch, StepOutcome};
 pub use fleet::{run_batch_fleet, FleetSummary};
 pub use metrics::{engine_metrics, EngineMetrics, TelemetryObserver};
+pub use phase::{Phase, PhaseMap, PhaseProbe};
 pub use population::{AgentPopulation, CountPopulation, Population};
 pub use protocol::{CompiledProtocol, GroupId, RuleId, StateId};
 pub use scheduler::UniformRandomScheduler;

@@ -1,0 +1,375 @@
+//! Convergence-phase classification and the [`PhaseProbe`] observer.
+//!
+//! Algorithm 1's convergence story has three macroscopic regimes that
+//! are readable straight off the count vector:
+//!
+//! * **chain building** — free agents (`initial`, `initial'`) are still
+//!   flipping (rules 1–4) or a builder chain (`m_i`) is recruiting
+//!   (rules 5–7);
+//! * **repair** — a chain collision (rule 8) left demolishers (`d_i`)
+//!   walking settled groups back down (rules 9–10);
+//! * **stable** — no demolishers and at most one free-or-builder agent
+//!   left: the partition cannot change any more. The Lemma 4–6 stable
+//!   signature keeps exactly one `m_r` member when `n mod k ≥ 2` and one
+//!   flipping free agent when `n mod k = 1`, so a lone leftover of
+//!   either kind is part of stability, not evidence of building.
+//!
+//! [`PhaseMap`] compiles a protocol's state names into per-state roles
+//! once; [`PhaseProbe`] rides the existing [`Observer`] seam and samples
+//! the classification at logarithmically-spaced checkpoints (steps 1, 2,
+//! 4, 8, ...), recording a segment only when the phase changes. The
+//! probe therefore costs one comparison per interaction in the naive
+//! kernel and is closed-form over the leap kernel's identity runs
+//! (counts are constant inside a run, so checkpoint samples inside it
+//! are all equal); under the batch kernel, checkpoints inside a tau-leap
+//! resolve to the leap-end configuration, which is the same resolution
+//! limit every other observer has there. Like all observers it never
+//! touches scheduling or RNG state, so attaching it leaves trajectories
+//! bit-identical.
+
+use crate::observer::Observer;
+use crate::protocol::{CompiledProtocol, StateId};
+
+/// The macroscopic convergence regime of a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Free agents flipping or a builder chain recruiting (rules 1–7).
+    ChainBuilding,
+    /// Demolishers walking settled groups back down (rules 8–10 aftermath).
+    Repair,
+    /// No demolishers, at most one free-or-builder agent left.
+    Stable,
+}
+
+impl Phase {
+    /// Stable wire label (used in timeline JSON and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::ChainBuilding => "chain_building",
+            Phase::Repair => "repair",
+            Phase::Stable => "stable",
+        }
+    }
+
+    /// Parse a wire label back.
+    pub fn parse(s: &str) -> Option<Phase> {
+        match s {
+            "chain_building" => Some(Phase::ChainBuilding),
+            "repair" => Some(Phase::Repair),
+            "stable" => Some(Phase::Stable),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Free,
+    Settled,
+    Builder,
+    Demolisher,
+}
+
+/// Per-state roles compiled from a protocol's state names.
+///
+/// Understands the k-partition naming convention (`initial`, `initial'`,
+/// `g{i}`, `m{i}`, `d{i}`); [`PhaseMap::for_protocol`] returns `None`
+/// for protocols whose states don't fit it, which callers treat as
+/// "phase timelines unavailable" rather than an error.
+#[derive(Clone, Debug)]
+pub struct PhaseMap {
+    roles: Vec<Role>,
+}
+
+impl PhaseMap {
+    /// Compile `proto`'s state names into roles, if they follow the
+    /// k-partition convention.
+    pub fn for_protocol(proto: &CompiledProtocol) -> Option<PhaseMap> {
+        let role_of = |name: &str| -> Option<Role> {
+            if name == "initial" || name == "initial'" {
+                return Some(Role::Free);
+            }
+            let (head, rest) = name.split_at(1);
+            if rest.is_empty() || rest.parse::<usize>().is_err() {
+                return None;
+            }
+            match head {
+                "g" => Some(Role::Settled),
+                "m" => Some(Role::Builder),
+                "d" => Some(Role::Demolisher),
+                _ => None,
+            }
+        };
+        let roles = proto
+            .states()
+            .map(|s: StateId| role_of(proto.state_name(s)))
+            .collect::<Option<Vec<Role>>>()?;
+        Some(PhaseMap { roles })
+    }
+
+    /// Classify a count vector (indexed by state, as the simulator hands
+    /// observers) into its phase.
+    ///
+    /// Assumes `counts` is reachable. By Lemma 1, a reachable
+    /// configuration with no demolishers and `free + builders ≤ 1` has
+    /// its group counts pinned to the Lemma 4–6 stable signature (the
+    /// lone leftover is the `m_r` member for `n mod k ≥ 2`, the flipping
+    /// free agent for `n mod k = 1`), so that predicate *is* stability;
+    /// two or more free/builder agents mean the chain is still forming.
+    pub fn classify(&self, counts: &[u64]) -> Phase {
+        let mut free = 0u64;
+        let mut builders = 0u64;
+        let mut demolishers = 0u64;
+        for (role, &c) in self.roles.iter().zip(counts) {
+            match role {
+                Role::Free => free += c,
+                Role::Builder => builders += c,
+                Role::Demolisher => demolishers += c,
+                Role::Settled => {}
+            }
+        }
+        if demolishers > 0 {
+            Phase::Repair
+        } else if free + builders > 1 {
+            Phase::ChainBuilding
+        } else {
+            Phase::Stable
+        }
+    }
+}
+
+/// Observer sampling the [`Phase`] at logarithmically-spaced checkpoints
+/// (interaction numbers 1, 2, 4, 8, ...), recording one `(step, phase)`
+/// segment per phase change. Call [`PhaseProbe::finish`] after the run
+/// to pin the terminal classification at the final interaction count.
+#[derive(Clone, Debug)]
+pub struct PhaseProbe {
+    map: PhaseMap,
+    next: u64,
+    segments: Vec<(u64, Phase)>,
+    checkpoints: u64,
+}
+
+impl PhaseProbe {
+    /// A probe for `map`'s protocol, with its first checkpoint at step 1.
+    pub fn new(map: PhaseMap) -> PhaseProbe {
+        PhaseProbe {
+            map,
+            next: 1,
+            segments: Vec::new(),
+            checkpoints: 0,
+        }
+    }
+
+    /// Convenience: compile the map and build a probe in one call.
+    pub fn for_protocol(proto: &CompiledProtocol) -> Option<PhaseProbe> {
+        PhaseMap::for_protocol(proto).map(PhaseProbe::new)
+    }
+
+    fn observe(&mut self, step: u64, counts: &[u64]) {
+        self.checkpoints += 1;
+        let phase = self.map.classify(counts);
+        if self.segments.last().map(|&(_, p)| p) != Some(phase) {
+            self.segments.push((step, phase));
+        }
+    }
+
+    /// Resolve every checkpoint in `(..=last_step]` against one constant
+    /// (or end-of-window) count vector and advance past `last_step`.
+    fn drain_checkpoints(&mut self, at_step: u64, last_step: u64, counts: &[u64]) {
+        if self.next > last_step {
+            return;
+        }
+        self.observe(at_step.max(self.next), counts);
+        let mut n = self.next.saturating_mul(2);
+        while n <= last_step {
+            self.checkpoints += 1;
+            n = n.saturating_mul(2);
+        }
+        self.next = n;
+    }
+
+    /// Record the terminal classification at `total_steps` (the run's
+    /// final interaction count), closing the timeline.
+    pub fn finish(&mut self, total_steps: u64, counts: &[u64]) {
+        let phase = self.map.classify(counts);
+        if self.segments.last().map(|&(_, p)| p) != Some(phase) || self.segments.is_empty() {
+            self.segments.push((total_steps.max(1), phase));
+        }
+    }
+
+    /// The recorded `(first step observed, phase)` segments, in order.
+    pub fn segments(&self) -> &[(u64, Phase)] {
+        &self.segments
+    }
+
+    /// Number of checkpoints resolved (including closed-form ones).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The most recently observed phase, if any checkpoint fired yet.
+    pub fn current_phase(&self) -> Option<Phase> {
+        self.segments.last().map(|&(_, p)| p)
+    }
+}
+
+impl Observer for PhaseProbe {
+    #[inline]
+    fn on_interaction(
+        &mut self,
+        step: u64,
+        _p: StateId,
+        _q: StateId,
+        _p2: StateId,
+        _q2: StateId,
+        counts: &[u64],
+    ) {
+        if step >= self.next {
+            self.drain_checkpoints(step.min(self.next), step, counts);
+        }
+    }
+
+    #[inline]
+    fn on_identity_run(&mut self, last_step: u64, _skipped: u64, counts: &[u64]) {
+        // Counts are constant across the run, so the earliest checkpoint
+        // inside it stands for all of them.
+        self.drain_checkpoints(self.next, last_step, counts);
+    }
+
+    #[inline]
+    fn on_leap_batch(&mut self, last_step: u64, _tau: u64, _effective: u64, counts: &[u64]) {
+        // Intermediate configurations inside a tau-leap were never
+        // sampled; checkpoints inside it resolve at the leap end.
+        self.drain_checkpoints(last_step, last_step, counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+
+    /// A protocol skeleton with k-partition state names (k = 3); rules
+    /// are irrelevant for classification tests.
+    fn named_proto() -> CompiledProtocol {
+        let mut spec = ProtocolSpec::new("phase-naming");
+        let ini = spec.add_state("initial", 1);
+        spec.add_state("initial'", 1);
+        spec.add_state("g1", 1);
+        spec.add_state("g2", 2);
+        spec.add_state("g3", 3);
+        spec.add_state("m2", 2);
+        spec.add_state("m3", 3);
+        spec.add_state("d1", 1);
+        spec.set_initial(ini);
+        spec.add_rule_symmetric(ini, ini, ini, ini);
+        spec.compile().unwrap()
+    }
+
+    #[test]
+    fn roles_drive_classification() {
+        let map = PhaseMap::for_protocol(&named_proto()).unwrap();
+        // indices: initial, initial', g1, g2, g3, m2, m3, d1
+        assert_eq!(
+            map.classify(&[5, 1, 0, 0, 0, 0, 0, 0]),
+            Phase::ChainBuilding
+        );
+        // A recruiting chain (m2 + m3) with free agents still around.
+        assert_eq!(
+            map.classify(&[2, 0, 1, 1, 1, 1, 1, 0]),
+            Phase::ChainBuilding
+        );
+        // One free agent AND one member left: still transient (rule 5 fires).
+        assert_eq!(
+            map.classify(&[1, 0, 2, 2, 2, 0, 1, 0]),
+            Phase::ChainBuilding
+        );
+        assert_eq!(map.classify(&[0, 1, 2, 2, 1, 1, 0, 1]), Phase::Repair);
+        // n mod k = 1: the lone free agent keeps flipping but the
+        // partition is fixed.
+        assert_eq!(map.classify(&[1, 0, 2, 2, 2, 0, 0, 0]), Phase::Stable);
+        // n mod k = 0: everyone settled.
+        assert_eq!(map.classify(&[0, 0, 3, 2, 2, 0, 0, 0]), Phase::Stable);
+        // n mod k = 2: the stable signature keeps exactly one m2 member.
+        assert_eq!(map.classify(&[0, 0, 3, 2, 2, 1, 0, 0]), Phase::Stable);
+    }
+
+    #[test]
+    fn foreign_protocols_have_no_phase_map() {
+        let mut spec = ProtocolSpec::new("epidemic");
+        let s = spec.add_state("S", 1);
+        let i = spec.add_state("I", 2);
+        spec.set_initial(s);
+        spec.add_rule_symmetric(i, s, i, i);
+        let proto = spec.compile().unwrap();
+        assert!(PhaseMap::for_protocol(&proto).is_none());
+    }
+
+    #[test]
+    fn checkpoints_are_log_spaced_and_segments_dedup() {
+        let proto = named_proto();
+        let mut probe = PhaseProbe::for_protocol(&proto).unwrap();
+        let building = [4u64, 0, 1, 0, 0, 1, 0, 0];
+        let repairing = [1u64, 0, 1, 1, 0, 0, 0, 1];
+        let stable = [1u64, 0, 2, 2, 1, 0, 0, 0];
+        let a = StateId(0);
+        for step in 1..=100u64 {
+            let counts: &[u64] = if step < 20 {
+                &building
+            } else if step < 70 {
+                &repairing
+            } else {
+                &stable
+            };
+            probe.on_interaction(step, a, a, a, a, counts);
+        }
+        probe.finish(100, &stable);
+        // Checkpoints 1,2,4,8,16 (building), 32,64 (repair), then the
+        // finish pin (stable) — phase changes land on checkpoint steps.
+        assert_eq!(probe.checkpoints(), 7);
+        assert_eq!(
+            probe.segments(),
+            &[
+                (1, Phase::ChainBuilding),
+                (32, Phase::Repair),
+                (100, Phase::Stable),
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_runs_resolve_checkpoints_in_closed_form() {
+        let proto = named_proto();
+        let building = [4u64, 0, 1, 0, 0, 1, 0, 0];
+        let a = StateId(0);
+
+        let mut naive = PhaseProbe::for_protocol(&proto).unwrap();
+        for step in 1..=1000u64 {
+            naive.on_interaction(step, a, a, a, a, &building);
+        }
+
+        let mut leap = PhaseProbe::for_protocol(&proto).unwrap();
+        // Same 1000 constant-count steps, delivered as 3 identity runs
+        // and two effective interactions.
+        leap.on_identity_run(400, 400, &building);
+        leap.on_interaction(401, a, a, a, a, &building);
+        leap.on_identity_run(900, 499, &building);
+        leap.on_interaction(901, a, a, a, a, &building);
+        leap.on_identity_run(1000, 99, &building);
+
+        assert_eq!(naive.checkpoints(), leap.checkpoints());
+        assert_eq!(naive.segments(), leap.segments());
+    }
+
+    #[test]
+    fn finish_records_terminal_phase_once() {
+        let proto = named_proto();
+        let stable = [0u64, 0, 3, 3, 2, 0, 0, 0];
+        let mut probe = PhaseProbe::for_protocol(&proto).unwrap();
+        probe.finish(50, &stable);
+        probe.finish(60, &stable); // idempotent for an unchanged phase
+        assert_eq!(probe.segments(), &[(50, Phase::Stable)]);
+        assert_eq!(probe.current_phase(), Some(Phase::Stable));
+    }
+}

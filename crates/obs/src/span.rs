@@ -1,0 +1,229 @@
+//! Structured spans with ambient parents.
+//!
+//! A span is an interval of work with an identity: a process-unique id, a
+//! parent span id (0 for roots), a static name, and an optional free-form
+//! label. Opening a span writes a [`RecordKind::SpanOpen`] record into the
+//! flight recorder and pushes the span onto a thread-local stack, so
+//! spans opened lower in the call tree pick up their parent *ambiently* —
+//! no plumbing through signatures. Dropping the guard pops the stack,
+//! writes the [`RecordKind::SpanClose`] record, and feeds the duration
+//! into the `obs.span.micros{span=...}` histogram of the pp-telemetry
+//! registry, so `/metrics` and the flight recorder can't disagree about
+//! where time went.
+//!
+//! Work that hops threads (rayon workers, `thread::scope`) loses the
+//! thread-local stack; hand the parent across explicitly with
+//! [`span_with_parent`] or re-establish it with [`with_parent`].
+
+use crate::recorder::{now_micros, recorder, RecordKind};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A process-unique span identity (never 0; 0 encodes "no parent").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost span open on this thread, if any.
+pub fn current_span() -> Option<SpanId> {
+    AMBIENT.with(|stack| stack.borrow().last().copied().map(SpanId))
+}
+
+/// RAII guard for one open span; closing (dropping) records the close
+/// and the duration histogram sample.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: String,
+    start: u64,
+}
+
+impl SpanGuard {
+    fn open(name: &'static str, parent: u64, label: String) -> SpanGuard {
+        let id = next_span_id();
+        let start = now_micros();
+        recorder().record(
+            RecordKind::SpanOpen,
+            id,
+            parent,
+            name,
+            &label,
+            start,
+            start,
+            0,
+        );
+        AMBIENT.with(|stack| stack.borrow_mut().push(id));
+        SpanGuard {
+            id,
+            parent,
+            name,
+            label,
+            start,
+        }
+    }
+
+    /// This span's identity, for echoing to clients or handing across
+    /// threads as an explicit parent.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally a plain pop; out-of-order drops (guards stored in
+            // structs, early returns) degrade to a removal by value.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let end = now_micros();
+        recorder().record(
+            RecordKind::SpanClose,
+            self.id,
+            self.parent,
+            self.name,
+            &self.label,
+            self.start,
+            end,
+            0,
+        );
+        pp_telemetry::global()
+            .histogram_with("obs.span.micros", &[("span", self.name)])
+            .record(end.saturating_sub(self.start));
+    }
+}
+
+/// Open a span under the current thread's ambient parent.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_labelled(name, "")
+}
+
+/// Open a labelled span under the current thread's ambient parent.
+pub fn span_labelled(name: &'static str, label: &str) -> SpanGuard {
+    let parent = current_span().map_or(0, |p| p.0);
+    SpanGuard::open(name, parent, label.to_string())
+}
+
+/// Open a span under an explicit parent — the escape hatch for work that
+/// crossed a thread boundary and lost the ambient stack.
+pub fn span_with_parent(name: &'static str, parent: Option<SpanId>, label: &str) -> SpanGuard {
+    SpanGuard::open(name, parent.map_or(0, |p| p.0), label.to_string())
+}
+
+/// Run `f` with `parent` installed as the ambient parent on this thread,
+/// so spans `f` opens attach under it without explicit threading.
+pub fn with_parent<R>(parent: SpanId, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            AMBIENT.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    AMBIENT.with(|stack| stack.borrow_mut().push(parent.0));
+    let _pop = Pop;
+    f()
+}
+
+/// Record a point event (with an integer payload) under the current
+/// ambient span.
+pub fn event(name: &'static str, value: u64) {
+    event_labelled(name, "", value);
+}
+
+/// Record a labelled point event under the current ambient span.
+pub fn event_labelled(name: &'static str, label: &str, value: u64) {
+    let parent = current_span().map_or(0, |p| p.0);
+    let at = now_micros();
+    recorder().record(RecordKind::Event, 0, parent, name, label, at, at, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is shared by every test in the process, so these
+    // assertions filter by the names they themselves wrote.
+    #[test]
+    fn nesting_assigns_ambient_parents() {
+        let outer = span("test.outer");
+        let inner = span_labelled("test.inner", "leaf");
+        assert_eq!(current_span(), Some(inner.id()));
+        let (outer_id, inner_id) = (outer.id().0, inner.id().0);
+        drop(inner);
+        assert_eq!(current_span(), Some(outer.id()));
+        drop(outer);
+        assert_eq!(current_span(), None);
+        let snap = recorder().snapshot();
+        let close = |id: u64| {
+            snap.iter()
+                .find(|r| r.kind == RecordKind::SpanClose && r.id == id)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(close(outer_id).parent, 0);
+        assert_eq!(close(inner_id).parent, outer_id);
+        assert_eq!(close(inner_id).label, "leaf");
+    }
+
+    #[test]
+    fn with_parent_reattaches_across_threads() {
+        let root = span("test.root");
+        let root_id = root.id();
+        let child_id = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    assert_eq!(current_span(), None); // fresh thread, no ambient
+                    with_parent(root_id, || span("test.remote").id().0)
+                })
+                .join()
+                .unwrap()
+        });
+        drop(root);
+        let snap = recorder().snapshot();
+        let child = snap
+            .iter()
+            .find(|r| r.kind == RecordKind::SpanClose && r.id == child_id)
+            .unwrap();
+        assert_eq!(child.parent, root_id.0);
+    }
+
+    #[test]
+    fn events_attach_to_the_open_span() {
+        let s = span("test.evt_host");
+        event_labelled("test.evt", "x", 41);
+        let host = s.id().0;
+        drop(s);
+        let snap = recorder().snapshot();
+        let evt = snap
+            .iter()
+            .find(|r| r.kind == RecordKind::Event && r.name == "test.evt")
+            .unwrap();
+        assert_eq!(evt.parent, host);
+        assert_eq!(evt.value, 41);
+    }
+
+    #[test]
+    fn span_durations_land_in_the_registry() {
+        drop(span("test.timed"));
+        let snap = pp_telemetry::Snapshot::capture_global();
+        let found = snap.metrics.iter().any(|m| {
+            m.name == "obs.span.micros" && m.labels.iter().any(|(_, v)| v == "test.timed")
+        });
+        assert!(found, "obs.span.micros{{span=test.timed}} missing");
+    }
+}

@@ -20,7 +20,9 @@
 //! back — the warm/cold throughput ratio is the benchmark's headline
 //! number. `--ci` additionally runs the coalescing check (two
 //! concurrent submissions of one unseen spec must yield exactly one
-//! `simulated` and one `coalesced`/`cache`) and exits nonzero if any
+//! `simulated` and one `coalesced`/`cache`) and the metrics check
+//! (`GET /metrics` is a valid Prometheus exposition covering every
+//! `serve.*` and core `engine.*` series), exiting nonzero if any
 //! expectation fails.
 
 #![forbid(unsafe_code)]
@@ -121,12 +123,17 @@ fn spec_line(args: &Args, seed: u64) -> String {
     )
 }
 
-/// Tallies from one phase of requests.
+/// Tallies from one phase of requests. Latency percentiles come from a
+/// [`pp_telemetry::Histogram`] (log₂ buckets, interpolated within the
+/// nearest-rank bucket) — the same estimator `GET /metrics` exposes, so
+/// the load generator and a Prometheus scrape of the server agree on
+/// what "p99" means. Bounded memory regardless of request count, and
+/// recording is atomic, so no per-phase sort or sample vector.
 #[derive(Default)]
 struct Phase {
     requests: u64,
     wall_micros: u64,
-    latencies: Vec<u64>,
+    latency: pp_telemetry::Histogram,
     cache: u64,
     simulated: u64,
     coalesced: u64,
@@ -135,11 +142,7 @@ struct Phase {
 
 impl Phase {
     fn percentile(&self, p: u64) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let idx = (self.latencies.len() as u64 * p / 100).min(self.latencies.len() as u64 - 1);
-        self.latencies[idx as usize]
+        self.latency.quantile(p, 100).unwrap_or(0)
     }
 
     /// Requests per second ×100 (the report is integer-only JSON).
@@ -182,7 +185,7 @@ fn run_phase(addr: SocketAddr, lines: &[String], threads: usize) -> Phase {
                 let micros = r0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 let mut ph = out.lock().unwrap();
                 ph.requests += 1;
-                ph.latencies.push(micros);
+                ph.latency.record(micros);
                 match resp.ok().filter(|r| r.status == 200) {
                     Some(resp) => match resp.events_of("done") {
                         Ok(done) if done.len() == 1 => {
@@ -201,7 +204,6 @@ fn run_phase(addr: SocketAddr, lines: &[String], threads: usize) -> Phase {
     });
     let mut phase = out.into_inner().unwrap();
     phase.wall_micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    phase.latencies.sort_unstable();
     phase
 }
 
@@ -264,6 +266,47 @@ fn ci_coalesce_check(addr: SocketAddr, line: &str) -> Result<Vec<String>, String
     let mut all = sources;
     all.push(src.to_string());
     Ok(all)
+}
+
+/// The `--ci` metrics check: `GET /metrics` must return a valid
+/// Prometheus exposition with the right content type, covering every
+/// `serve.*` series and the core `engine.*` counters.
+fn ci_metrics_check(addr: SocketAddr) -> Result<(), String> {
+    let resp = client::request(addr, "GET", "/metrics", "")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /metrics returned status {}", resp.status));
+    }
+    pp_telemetry::validate_exposition(&resp.body)
+        .map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+    let serve_series = [
+        "serve.requests",
+        "serve.requests.rejected",
+        "serve.requests.bad",
+        "serve.cells.requested",
+        "serve.cells.cache_hits",
+        "serve.cells.simulated",
+        "serve.cells.coalesced",
+        "serve.cells.errors",
+        "serve.queue.depth",
+        "serve.inflight",
+        "serve.request.micros",
+        "serve.cell.wait_micros",
+    ];
+    for name in serve_series
+        .iter()
+        .chain(pp_sweep::telemetry::CORE_ENGINE_COUNTERS)
+    {
+        let mangled = pp_telemetry::prom::mangle_name(name);
+        if !resp
+            .body
+            .lines()
+            .any(|l| l.starts_with(&format!("# TYPE {mangled} ")))
+        {
+            return Err(format!("exposition is missing series {name} ({mangled})"));
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -348,6 +391,13 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("pp-serve-load: coalescing check FAILED: {e}");
+                failed = true;
+            }
+        }
+        match ci_metrics_check(addr) {
+            Ok(()) => println!("pp-serve-load: /metrics exposition check ok"),
+            Err(e) => {
+                eprintln!("pp-serve-load: /metrics check FAILED: {e}");
                 failed = true;
             }
         }

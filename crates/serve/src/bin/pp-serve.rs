@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pp-serve [--addr HOST:PORT] [--backend fs|mem|log] [--store PATH]
-//!          [--queue N] [--workers N] [--metrics PATH]
+//!          [--queue N] [--workers N] [--metrics PATH] [--flight-dump PATH]
 //! ```
 //!
 //! Backend selection: `--backend`/`--store` when given, otherwise the
@@ -10,7 +10,12 @@
 //! `0` binds a free port; the actual address is printed on startup
 //! (machine-greppable `listening on` line). SIGTERM/SIGINT trigger the
 //! same graceful shutdown as `POST /shutdown`: drain workers, flush
-//! the store, optionally export metrics.
+//! the store, optionally export metrics, and dump the flight recorder.
+//!
+//! `--flight-dump PATH` names where the flight-recorder NDJSON lands —
+//! written on clean shutdown *and* by the panic hook, so a crashed or
+//! killed server leaves its last spans behind. Without the flag the
+//! dump goes to `PP_FLIGHT_DUMP` (if set) on panic only.
 
 #![deny(unsafe_code)]
 
@@ -61,7 +66,7 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: pp-serve [--addr HOST:PORT] [--backend fs|mem|log] [--store PATH] \
-         [--queue N] [--workers N] [--metrics PATH]"
+         [--queue N] [--workers N] [--metrics PATH] [--flight-dump PATH]"
     );
     std::process::exit(2)
 }
@@ -71,6 +76,7 @@ struct Args {
     backend: Option<String>,
     store_path: Option<String>,
     metrics: Option<String>,
+    flight_dump: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -79,6 +85,7 @@ fn parse_args() -> Args {
         backend: None,
         store_path: None,
         metrics: None,
+        flight_dump: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +102,7 @@ fn parse_args() -> Args {
             "--queue" => args.cfg.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
             "--workers" => args.cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
             "--metrics" => args.metrics = Some(val("--metrics")),
+            "--flight-dump" => args.flight_dump = Some(val("--flight-dump")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -139,6 +147,11 @@ fn main() -> ExitCode {
         }
     };
     let _ = serve_metrics(); // register serve.* before any export
+    if let Some(path) = args.flight_dump.as_deref() {
+        pp_obs::set_dump_path(path);
+    }
+    // A panicking daemon still leaves its last recorded spans behind.
+    pp_obs::install_panic_hook();
 
     let server = match Server::bind(args.cfg.clone(), store.clone()) {
         Ok(s) => s,
@@ -193,6 +206,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("pp-serve: metrics written to {path}");
+            }
+            if args.flight_dump.is_some() {
+                let path = pp_obs::default_dump_path();
+                match pp_obs::recorder().dump_to(&path) {
+                    Ok(()) => println!("pp-serve: flight recorder dumped to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("pp-serve: flight dump failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }

@@ -118,9 +118,11 @@ impl Coalescer {
         events: &Sender<Value>,
     ) -> (Source, FlightResult) {
         // Fast path: the store already has it.
+        let lookup = pp_obs::span("serve.store_lookup");
         if let Some(hit) = store.load(spec) {
             return (Source::Cache, Ok(hit));
         }
+        drop(lookup);
 
         let key = spec.content_hash();
         let flight = {
@@ -133,6 +135,7 @@ impl Coalescer {
                     let f = Arc::clone(f);
                     f.subs.lock().unwrap().push(events.clone());
                     drop(flights);
+                    let _wait = pp_obs::span("serve.coalesce_wait");
                     return (Source::Coalesced, self.wait(&f));
                 }
                 _ => {
@@ -162,6 +165,7 @@ impl Coalescer {
         // catch_unwind so a panicking simulation (impossible for specs
         // that passed validation, but this is a long-running daemon)
         // lands as an error instead of stranding subscribers.
+        let _simulate = pp_obs::span("serve.simulate");
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let obs = FlightObserver { flight: &flight };
             run_cell(spec, store, &obs, &ExecOptions::default())

@@ -166,11 +166,23 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete (non-streamed) response with `Content-Length`.
+/// Write a complete (non-streamed) JSON response with `Content-Length`.
 pub fn write_response(w: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(w, status, "application/json", body)
+}
+
+/// Write a complete response with an explicit content type — the
+/// Prometheus exposition (`GET /metrics`) and the flight-recorder dump
+/// (`GET /flight`) are not JSON.
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         reason(status),
         body.len(),
     )?;

@@ -6,7 +6,7 @@
 //!
 //! | event      | when | payload |
 //! |------------|------|---------|
-//! | `accepted` | after parsing | `cells` admitted, `deduped` dropped as within-request duplicates |
+//! | `accepted` | after parsing | `cells` admitted, `deduped` dropped as within-request duplicates, `span` root span id in the flight recorder |
 //! | `trial`    | a trial of a simulated cell finished | `cell` stem, `done`/`of` progress |
 //! | `result`   | a cell completed | `cell` stem, `source` (`cache`/`simulated`/`coalesced`), integer stats, optionally full `records` |
 //! | `error`    | a cell failed | `cell` stem (when known) and `message` |
@@ -63,12 +63,15 @@ pub fn parse_specs(body: &str) -> Result<Vec<CellSpec>, String> {
     Ok(specs)
 }
 
-/// `accepted` event.
-pub fn accepted(cells: usize, deduped: usize) -> Value {
+/// `accepted` event. `span` is the request's root span id in the
+/// flight recorder, so a client can correlate its stream with the
+/// server's `GET /flight` dump (0 when the recorder is disabled).
+pub fn accepted(cells: usize, deduped: usize, span: u64) -> Value {
     Value::obj([
         ("event", Value::Str("accepted".into())),
         ("cells", Value::U64(cells as u64)),
         ("deduped", Value::U64(deduped as u64)),
+        ("span", Value::U64(span)),
     ])
 }
 
@@ -173,8 +176,11 @@ mod tests {
 
     #[test]
     fn events_encode_with_stable_keys() {
-        let e = accepted(3, 1).encode();
-        assert_eq!(e, "{\"cells\":3,\"deduped\":1,\"event\":\"accepted\"}");
+        let e = accepted(3, 1, 42).encode();
+        assert_eq!(
+            e,
+            "{\"cells\":3,\"deduped\":1,\"event\":\"accepted\",\"span\":42}"
+        );
         let t = trial("ukp-k3-n16-abc", 1, 4).encode();
         assert!(t.contains("\"event\":\"trial\""));
         assert!(t.contains("\"done\":1"));

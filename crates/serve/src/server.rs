@@ -12,8 +12,18 @@
 //! |------------------|-----------|
 //! | `GET /healthz`   | `{"ok":true}` |
 //! | `GET /stats`     | backend kind/location/stats + service counters |
-//! | `POST /cells`    | JSONL specs in, streamed JSONL events out (see [`crate::proto`]); `?records=1` includes full trial records, `?trace=1` captures per-cell traces, `?hold_ms=N` delays execution (load-testing knob) |
+//! | `GET /metrics`   | live Prometheus text exposition of the whole registry (engine, sweep, serve, obs series) |
+//! | `GET /flight`    | flight-recorder dump as NDJSON — the most recent span/event records |
+//! | `POST /cells`    | JSONL specs in, streamed JSONL events out (see [`crate::proto`]); `?records=1` includes full trial records, `?trace=1` captures per-cell traces, `?timeline=1` captures per-cell phase timelines, `?hold_ms=N` delays execution (load-testing knob) |
 //! | `POST /shutdown` | begin graceful shutdown |
+//!
+//! Every `POST /cells` request is traced as a span tree in the flight
+//! recorder: `serve.request` → `serve.admission` (parse + dedupe),
+//! `serve.cell{label=stem}` per cell (crossing onto the compute pool
+//! with an explicit parent), with the coalescer's `serve.store_lookup` /
+//! `serve.simulate` / `serve.coalesce_wait` spans nested under each
+//! cell, and `serve.stream_flush` covering the drain onto the socket.
+//! The root span id is echoed in the `accepted` event.
 //!
 //! Graceful shutdown (via `/shutdown` or the flag from
 //! [`Server::shutdown_flag`], which the binary wires to SIGTERM):
@@ -254,12 +264,24 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => http::write_response(&mut writer, 200, "{\"ok\":true}"),
         ("GET", "/stats") => http::write_response(&mut writer, 200, &stats_body(ctx)),
+        ("GET", "/metrics") => http::write_response_typed(
+            &mut writer,
+            200,
+            pp_telemetry::prom::CONTENT_TYPE,
+            &metrics_body(),
+        ),
+        ("GET", "/flight") => http::write_response_typed(
+            &mut writer,
+            200,
+            "application/x-ndjson",
+            &pp_obs::recorder().to_ndjson(),
+        ),
         ("POST", "/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             http::write_response(&mut writer, 200, "{\"ok\":true,\"shutting_down\":true}")
         }
         ("POST", "/cells") => handle_cells(&req, &mut writer, ctx),
-        (_, "/healthz" | "/stats" | "/shutdown" | "/cells") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/flight" | "/shutdown" | "/cells") => {
             serve_metrics().requests_bad.inc();
             http::write_response(&mut writer, 405, "{\"error\":\"method not allowed\"}")
         }
@@ -268,6 +290,15 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
             http::write_response(&mut writer, 404, "{\"error\":\"no such endpoint\"}")
         }
     }
+}
+
+/// `GET /metrics`: the whole process registry as Prometheus text.
+/// Forces registration of every layer's series first, so a scrape of an
+/// idle server still shows the complete schema (counters at zero).
+fn metrics_body() -> String {
+    pp_sweep::telemetry::register_all_series();
+    let _ = serve_metrics();
+    pp_telemetry::to_prometheus(&pp_telemetry::Snapshot::capture_global())
 }
 
 /// `GET /stats`: store backend identity and occupancy plus the
@@ -307,6 +338,15 @@ fn stats_body(ctx: &Ctx) -> String {
 }
 
 fn handle_cells(req: &Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<()> {
+    // Root of this request's span tree; its id is echoed to the client
+    // in the `accepted` event so client streams and `GET /flight` dumps
+    // correlate.
+    let req_span = pp_obs::span_labelled("serve.request", "POST /cells");
+    let req_span_id = req_span.id();
+
+    // Admission: parse, size-check, dedupe — everything that can bounce
+    // the request before any simulation work is committed.
+    let admission = pp_obs::span("serve.admission");
     let body = String::from_utf8_lossy(&req.body);
     let specs = match proto::parse_specs(&body) {
         Ok(s) => s,
@@ -335,6 +375,8 @@ fn handle_cells(req: &Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<
         .collect();
     let deduped = total - specs.len();
     serve_metrics().cells_requested.add(specs.len() as u64);
+    pp_obs::event("serve.cells_admitted", specs.len() as u64);
+    drop(admission);
 
     // Load-testing knob: hold the request (after admission, before
     // execution) so tests can pin a worker deterministically.
@@ -344,9 +386,13 @@ fn handle_cells(req: &Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<
 
     let include_records = req.query_flag("records");
     let capture_trace = req.query_flag("trace");
+    let capture_timeline = req.query_flag("timeline");
 
     http::start_stream(writer, 200)?;
-    http::stream_line(writer, &proto::accepted(specs.len(), deduped).encode())?;
+    http::stream_line(
+        writer,
+        &proto::accepted(specs.len(), deduped, req_span_id.0).encode(),
+    )?;
 
     // Producer side: resolve every cell on the compute pool, pushing
     // progress and result events into one channel. Consumer side (this
@@ -362,20 +408,29 @@ fn handle_cells(req: &Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<
             let outcomes: Vec<(Source, bool)> = jobs
                 .into_par_iter()
                 .map(|(spec, tx)| {
-                    let (source, result) = ctx.coalescer.obtain(&spec, &ctx.store, &tx);
-                    let ok = result.is_ok();
-                    match result {
-                        Ok(res) => {
-                            let _ = tx.send(proto::result(&spec, source, &res, include_records));
-                            if capture_trace {
-                                let _ = tx.send(trace_event(&spec, &ctx.store));
+                    // Rayon workers have no ambient span stack; attach this
+                    // cell's span under the request root explicitly.
+                    pp_obs::with_parent(req_span_id, || {
+                        let _cell = pp_obs::span_labelled("serve.cell", &spec.file_stem());
+                        let (source, result) = ctx.coalescer.obtain(&spec, &ctx.store, &tx);
+                        let ok = result.is_ok();
+                        match result {
+                            Ok(res) => {
+                                let _ =
+                                    tx.send(proto::result(&spec, source, &res, include_records));
+                                if capture_trace {
+                                    let _ = tx.send(trace_event(&spec, &ctx.store));
+                                }
+                                if capture_timeline {
+                                    let _ = tx.send(timeline_event(&spec, &ctx.store));
+                                }
+                            }
+                            Err(e) => {
+                                let _ = tx.send(proto::error(Some(&spec.file_stem()), &e));
                             }
                         }
-                        Err(e) => {
-                            let _ = tx.send(proto::error(Some(&spec.file_stem()), &e));
-                        }
-                    }
-                    (source, ok)
+                        (source, ok)
+                    })
                 })
                 .collect();
             let mut t = (0u64, 0u64, 0u64, 0u64); // cache, simulated, coalesced, errors
@@ -392,6 +447,7 @@ fn handle_cells(req: &Request, writer: &mut TcpStream, ctx: &Ctx) -> io::Result<
         // A client that hangs up mid-stream stops receiving lines, but
         // the producer runs to completion — results still land in the
         // store and coalesced waiters still wake.
+        let _flush = pp_obs::span("serve.stream_flush");
         let mut broken = false;
         for event in rx {
             if !broken && http::stream_line(writer, &event.encode()).is_err() {
@@ -424,6 +480,31 @@ fn trace_event(spec: &CellSpec, store: &ResultStore) -> Value {
             ("effective", Value::U64(t.effective)),
         ]),
         Err(e) => proto::error(Some(&spec.file_stem()), &format!("trace failed: {e}")),
+    }
+}
+
+/// `timeline` event for `?timeline=1`: capture (or reuse) the cell's
+/// trial-0 convergence-phase timeline next to its stored result.
+/// Protocols without a phase classification report a zero-segment event
+/// rather than an error — asking for timelines on a foreign protocol is
+/// not a client mistake.
+fn timeline_event(spec: &CellSpec, store: &ResultStore) -> Value {
+    match pp_sweep::timeline::timeline_cell(spec, store) {
+        Ok(Some(t)) => Value::obj([
+            ("event", Value::Str("timeline".into())),
+            ("cell", Value::Str(t.stem)),
+            ("path", Value::Str(t.path.display().to_string())),
+            ("fresh", Value::Bool(t.fresh)),
+            ("segments", Value::U64(t.segments.len() as u64)),
+            ("checkpoints", Value::U64(t.checkpoints)),
+            ("stable", Value::U64(t.stable as u64)),
+        ]),
+        Ok(None) => Value::obj([
+            ("event", Value::Str("timeline".into())),
+            ("cell", Value::Str(spec.file_stem())),
+            ("segments", Value::U64(0)),
+        ]),
+        Err(e) => proto::error(Some(&spec.file_stem()), &format!("timeline failed: {e}")),
     }
 }
 

@@ -229,6 +229,118 @@ fn stats_reports_backend_and_tallies() {
 }
 
 #[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let (addr, handle) = start_mem();
+    // Drive one simulated cell so the counters have non-trivial values.
+    let _ = client::post_cells(addr, &spec_line(700, 16, 2), "").unwrap();
+
+    let resp = client::request(addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(resp.status, 200);
+    pp_telemetry::validate_exposition(&resp.body).expect("valid Prometheus exposition");
+    // Every layer's schema is present even where counters are zero.
+    for series in [
+        "serve_requests",
+        "serve_cells_requested",
+        "serve_request_micros",
+        "engine_runs",
+        "engine_interactions",
+        "engine_effective_interactions",
+        "engine_leap_batches",
+        "engine_batch_fallbacks",
+        "sweep_export_key_version",
+        "obs_span_micros",
+    ] {
+        assert!(
+            resp.body
+                .lines()
+                .any(|l| l.starts_with(&format!("# TYPE {series} "))),
+            "missing series {series} in exposition"
+        );
+    }
+    // Histograms expose cumulative buckets with _sum/_count.
+    assert!(resp
+        .body
+        .contains("serve_request_micros_bucket{le=\"+Inf\"}"));
+    assert!(resp.body.contains("serve_request_micros_count"));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn flight_endpoint_exposes_the_request_span_tree() {
+    let (addr, handle) = start_mem();
+    let resp = client::post_cells(addr, &spec_line(800, 16, 2), "").unwrap();
+    assert_eq!(resp.status, 200);
+    let accepted = resp.events_of("accepted").unwrap();
+    let root = accepted[0].get("span").unwrap().as_u64().unwrap();
+    assert!(root > 0, "accepted event must echo the request span id");
+
+    let flight = client::request(addr, "GET", "/flight", "").unwrap();
+    assert_eq!(flight.status, 200);
+    let records: Vec<Value> = flight
+        .body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Value::parse(l).expect("flight line parses"))
+        .collect();
+    assert!(!records.is_empty(), "flight recorder should not be empty");
+
+    // Reconstruct this request's span tree from the dump: the root plus
+    // every span reachable from it.
+    let opens: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("span_open"))
+        .collect();
+    let mut tree: std::collections::HashSet<u64> = std::collections::HashSet::from([root]);
+    // Span ids increase monotonically and parents open before children,
+    // so one forward pass reaches the whole tree.
+    for open in &opens {
+        let id = open.get("id").unwrap().as_u64().unwrap();
+        let parent = open.get("parent").unwrap().as_u64().unwrap();
+        if tree.contains(&parent) {
+            tree.insert(id);
+        }
+    }
+    assert!(
+        tree.len() >= 4,
+        "expected a request span tree of at least 4 spans, got {tree:?}"
+    );
+    let name_of = |id: u64| {
+        opens
+            .iter()
+            .find(|o| o.get("id").unwrap().as_u64() == Some(id))
+            .and_then(|o| o.get("name").and_then(Value::as_str))
+            .unwrap_or("")
+            .to_string()
+    };
+    let names: std::collections::HashSet<String> = tree.iter().map(|&id| name_of(id)).collect();
+    for expected in [
+        "serve.request",
+        "serve.admission",
+        "serve.cell",
+        "serve.simulate",
+    ] {
+        assert!(
+            names.contains(expected),
+            "span {expected} missing from {names:?}"
+        );
+    }
+    // The cell span carries its stem as the label.
+    let cell_open = opens
+        .iter()
+        .find(|o| {
+            o.get("name").and_then(Value::as_str) == Some("serve.cell")
+                && tree.contains(&o.get("id").unwrap().as_u64().unwrap())
+        })
+        .expect("cell span recorded");
+    let label = cell_open.get("label").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        label.contains("ukp"),
+        "cell span label {label:?} should be the stem"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
 fn log_backend_survives_shutdown_and_serves_reopen() {
     let path = std::env::temp_dir().join(format!("pp_serve_e2e_log_{}.log", std::process::id()));
     let _ = std::fs::remove_file(&path);

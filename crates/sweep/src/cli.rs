@@ -14,7 +14,10 @@
 //! an additional copy to an explicit location. `--trace <glob>` records
 //! trial 0 of every cell whose store file stem matches the glob into
 //! `<store>/<stem>.trace` (see [`crate::trace`]) and folds the trace
-//! diagnostics into the same metrics export.
+//! diagnostics into the same metrics export. `--timelines [glob]`
+//! (default `*`) classifies trial 0 of each matching cell into
+//! convergence phases and writes `<store>/<stem>.timeline.json` (see
+//! [`crate::timeline`]).
 //!
 //! Environment: `PP_TRIALS`, `PP_SEED`, `PP_RESULTS_DIR`, `PP_FIG6_KMAX`
 //! — all participate in cell identity, so changing them addresses
@@ -40,13 +43,16 @@ pub fn main_with_args(args: &[String]) -> i32 {
             return 1;
         }
     };
-    // Split off the options run/resume accept: `--metrics [path]` and
-    // `--trace <glob>`. An explicit metrics path duplicates the export
-    // there; the default export next to the results happens regardless.
-    let (args, metrics_to, trace_glob): (Vec<&String>, Option<Option<String>>, Option<String>) = {
+    // Split off the options run/resume accept: `--metrics [path]`,
+    // `--trace <glob>`, and `--timelines [glob]`. An explicit metrics
+    // path duplicates the export there; the default export next to the
+    // results happens regardless. `--timelines` without a glob covers
+    // every cell.
+    let (args, metrics_to, trace_glob, timelines_glob) = {
         let mut rest = Vec::new();
         let mut metrics = None;
         let mut trace = None;
+        let mut timelines = None;
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if a == "--metrics" {
@@ -71,11 +77,20 @@ pub fn main_with_args(args: &[String]) -> i32 {
                         return 2;
                     }
                 }
+            } else if a == "--timelines" {
+                let glob = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if glob.is_some() {
+                    it.next();
+                }
+                timelines = Some(glob.unwrap_or_else(|| "*".to_string()));
             } else {
                 rest.push(a);
             }
         }
-        (rest, metrics, trace)
+        (rest, metrics, trace, timelines)
     };
     match args.as_slice() {
         [] => {
@@ -92,6 +107,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
             &store,
             metrics_to.flatten(),
             trace_glob.as_deref(),
+            timelines_glob.as_deref(),
         ),
         [cmd] if *cmd == "status" => {
             for p in plan::plans(cfg) {
@@ -118,8 +134,9 @@ pub fn main_with_args(args: &[String]) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: pp-sweep <list | run <plan|all> [--metrics [path]] [--trace <glob>] | \
-resume <plan|all> [--metrics [path]] [--trace <glob>] | status [plan] | metrics [path] | gc>";
+const USAGE: &str = "usage: pp-sweep <list | run <plan|all> [--metrics [path]] [--trace <glob>] \
+[--timelines [glob]] | resume <plan|all> [--metrics [path]] [--trace <glob>] [--timelines [glob]] | \
+status [plan] | metrics [path] | gc>";
 
 /// Where `run` exports metrics by default (and where `status` and the
 /// bare `metrics` command look): next to the results they describe.
@@ -175,6 +192,7 @@ fn run(
     store: &ResultStore,
     metrics_to: Option<String>,
     trace_glob: Option<&str>,
+    timelines_glob: Option<&str>,
 ) -> i32 {
     let selected: Vec<Plan> = if name == "all" {
         plan::plans(cfg)
@@ -259,6 +277,33 @@ fn run(
         }
     }
 
+    // Phase timelines ride the same post-run slot as traces: trial 0's
+    // seed is a pure function of the spec, so cache hits still yield a
+    // timeline, and capturing before the metrics export lands the
+    // timeline counters in the same snapshot.
+    if let Some(glob) = timelines_glob {
+        match crate::timeline::timeline_matching(&cells, store, glob) {
+            Ok(timelines) if timelines.is_empty() => {
+                eprintln!("  timelines: no classifiable cell stem matches `{glob}`");
+            }
+            Ok(timelines) => {
+                let fresh = timelines.iter().filter(|t| t.fresh).count();
+                let stable = timelines.iter().filter(|t| t.stable).count();
+                eprintln!(
+                    "  timelines: {} cells ({} recorded, {} reused), {} stabilised",
+                    timelines.len(),
+                    fresh,
+                    timelines.len() - fresh,
+                    stable
+                );
+            }
+            Err(e) => {
+                eprintln!("pp-sweep: timeline capture failed: {e}");
+                return 1;
+            }
+        }
+    }
+
     // Every run leaves a machine-readable performance record next to its
     // results; --metrics <path> exports an extra copy wherever asked.
     let mut targets = vec![default_metrics_path(store)];
@@ -288,6 +333,9 @@ fn metrics_cmd(store: &ResultStore, path: &std::path::Path) -> i32 {
         eprintln!("pp-sweep: {}: invalid metrics export: {e}", path.display());
         return 1;
     }
+    if let Some(warning) = stale_export_warning(&snap) {
+        eprintln!("pp-sweep: warning: {warning}");
+    }
     println!("metrics from {}:", path.display());
     print!("{}", snap.summary_table());
     // One derived line when the batch kernel ran: how often it leapt vs
@@ -302,6 +350,30 @@ fn metrics_cmd(store: &ResultStore, path: &std::path::Path) -> i32 {
     0
 }
 
+/// Explain why an export cannot be trusted as "the last run", if so.
+///
+/// Exports are stamped with the cell-key schema version that produced
+/// them (`sweep.export.key_version`). A missing or older stamp means the
+/// file predates the current schema: the cells it describes live under
+/// keys the running binary no longer addresses, so showing its counters
+/// as a digest of "the last run" would silently report zeros (or stale
+/// totals) for current work.
+fn stale_export_warning(snap: &pp_telemetry::Snapshot) -> Option<String> {
+    let current = crate::telemetry::key_version_num();
+    match snap.value(crate::telemetry::KEY_VERSION_SERIES) {
+        Some(v) if v == current => None,
+        Some(v) => Some(format!(
+            "metrics export was written under cell-key schema v{v}, but this binary uses \
+v{current} — counters describe cells the current schema no longer addresses; \
+re-run `pp-sweep run` to refresh"
+        )),
+        None => Some(format!(
+            "metrics export carries no cell-key schema stamp (predates v{current}) — \
+re-run `pp-sweep run` to refresh"
+        )),
+    }
+}
+
 /// One compact line of engine/sweep totals from the default metrics
 /// export, if a run has produced one.
 fn status_telemetry(store: &ResultStore) {
@@ -310,6 +382,12 @@ fn status_telemetry(store: &ResultStore) {
     let Ok(snap) = pp_telemetry::Snapshot::read_jsonl(&path) else {
         return; // no export yet — say nothing rather than alarm
     };
+    if let Some(warning) = stale_export_warning(&snap) {
+        // A stale export must not masquerade as a zeros digest of the
+        // last run — say what happened and skip the digest entirely.
+        println!("telemetry: {warning} ({})", path.display());
+        return;
+    }
     let v = |name: &str| snap.value(name).unwrap_or(0);
     println!(
         "telemetry (last run): {} interactions ({} effective) over {} engine runs; \
@@ -329,6 +407,17 @@ fn status_telemetry(store: &ResultStore) {
         println!(
             "batch kernel (last run): {batches} tau-leaps, {} exact fallbacks",
             v("engine.batch_fallbacks")
+        );
+    }
+    // Timeline line only when the last run captured phase timelines.
+    let timelines = v("timeline.cells.recorded") + v("timeline.cells.reused");
+    if timelines > 0 {
+        println!(
+            "timelines (last run): {timelines} cells ({} freshly recorded, {} phase segments, \
+{} checkpoints)",
+            v("timeline.cells.recorded"),
+            v("timeline.segments"),
+            v("timeline.checkpoints"),
         );
     }
     // Second line only when the last run captured traces.
@@ -353,9 +442,13 @@ fn status(p: &Plan, store: &ResultStore) {
     let mut partial_trials = 0u64;
     let mut pending = 0usize;
     let mut traced = 0usize;
+    let mut timelined = 0usize;
     for spec in &p.cells {
         if crate::trace::trace_path(store, spec).exists() {
             traced += 1;
+        }
+        if crate::timeline::timeline_path(store, spec).exists() {
+            timelined += 1;
         }
         if store.load(spec).is_some() {
             complete += 1;
@@ -376,11 +469,14 @@ fn status(p: &Plan, store: &ResultStore) {
     } else {
         "not started"
     };
-    let traces = if traced > 0 {
+    let mut traces = if traced > 0 {
         format!(", {traced} traced")
     } else {
         String::new()
     };
+    if timelined > 0 {
+        traces.push_str(&format!(", {timelined} timelined"));
+    }
     println!(
         "{:<18} {:>11}: {}/{} cells complete, {} partial ({} journaled trials), {} pending{}",
         p.name,
@@ -457,6 +553,36 @@ mod tests {
         assert_eq!(main_with_args(&[]), 2);
         assert_eq!(main_with_args(&["frobnicate".into()]), 2);
         assert_eq!(main_with_args(&["run".into(), "not_a_plan".into()]), 2);
+    }
+
+    #[test]
+    fn stale_exports_are_called_out_not_zeroed() {
+        let current = crate::telemetry::key_version_num();
+        assert!(current >= 1);
+        // No schema stamp: the export predates versioned exports.
+        let snap = pp_telemetry::Snapshot::from_jsonl(
+            "{\"kind\":\"counter\",\"name\":\"engine.runs\",\"value\":0}\n",
+        )
+        .unwrap();
+        let warning = stale_export_warning(&snap).expect("unstamped export flagged");
+        assert!(warning.contains("no cell-key schema stamp"), "{warning}");
+        // Older stamp: written under a previous KEY_VERSION.
+        let text = format!(
+            "{{\"kind\":\"gauge\",\"name\":\"sweep.export.key_version\",\"value\":{}}}\n",
+            current - 1
+        );
+        let snap = pp_telemetry::Snapshot::from_jsonl(&text).unwrap();
+        let warning = stale_export_warning(&snap).expect("old stamp flagged");
+        assert!(
+            warning.contains(&format!("schema v{}", current - 1)),
+            "{warning}"
+        );
+        // Current stamp: trustworthy, no warning.
+        let text = format!(
+            "{{\"kind\":\"gauge\",\"name\":\"sweep.export.key_version\",\"value\":{current}}}\n"
+        );
+        let snap = pp_telemetry::Snapshot::from_jsonl(&text).unwrap();
+        assert_eq!(stale_export_warning(&snap), None);
     }
 
     #[test]

@@ -50,4 +50,5 @@ pub mod runner;
 pub mod spec;
 pub mod store;
 pub mod telemetry;
+pub mod timeline;
 pub mod trace;

@@ -131,6 +131,22 @@ pub fn record_cell(acct: &CellAccounting<'_>) {
         .add(acct.interactions);
 }
 
+/// Gauge stamping every export with the cell-key schema version that
+/// produced it (`KEY_VERSION` `"v4"` → `4`). `pp-sweep status` and
+/// `pp-sweep metrics` compare it against the running binary's version to
+/// tell a stale export apart from a genuinely idle run — without the
+/// stamp, a `metrics.jsonl` left behind by an older schema reads as an
+/// all-zeros digest.
+pub const KEY_VERSION_SERIES: &str = "sweep.export.key_version";
+
+/// Numeric form of [`crate::spec::KEY_VERSION`] (`"v4"` → `4`).
+pub fn key_version_num() -> u64 {
+    crate::spec::KEY_VERSION
+        .trim_start_matches('v')
+        .parse()
+        .unwrap_or(0)
+}
+
 /// Engine counters every sweep export must carry — the CI smoke test and
 /// `pp-sweep metrics` both validate against this list.
 pub const CORE_ENGINE_COUNTERS: &[&str] = &[
@@ -197,10 +213,23 @@ pub fn validate_snapshot(snap: &Snapshot) -> Result<(), String> {
 /// export carries the core counters (at zero if nothing ran) — an
 /// all-cache-hit run still yields a complete, validatable file.
 pub fn write_metrics(path: &Path) -> std::io::Result<()> {
+    register_all_series();
+    Snapshot::capture_global().write_jsonl(path)
+}
+
+/// Force registration of the engine, sweep, and trace series in the
+/// global registry and stamp the cell-key schema version, so a snapshot
+/// captured right after carries every core counter (at zero if nothing
+/// ran). `write_metrics` calls this before its export; `pp-serve`'s
+/// `GET /metrics` calls it before rendering the Prometheus exposition.
+pub fn register_all_series() {
     let _ = pp_engine::metrics::engine_metrics();
     let _ = sweep_metrics();
     pp_trace::export::register_series(pp_telemetry::global());
-    Snapshot::capture_global().write_jsonl(path)
+    // Stamp the schema version so readers can detect stale exports.
+    pp_telemetry::global()
+        .gauge(KEY_VERSION_SERIES)
+        .set(key_version_num());
 }
 
 #[cfg(test)]
@@ -246,6 +275,23 @@ mod tests {
             panic!("expected counter");
         };
         assert!(trials >= 8);
+    }
+
+    #[test]
+    fn key_version_stamp_matches_the_spec_schema() {
+        let expected: u64 = crate::spec::KEY_VERSION
+            .trim_start_matches('v')
+            .parse()
+            .unwrap();
+        assert!(expected > 0, "KEY_VERSION must stay numeric-after-v");
+        assert_eq!(key_version_num(), expected);
+        let dir = std::env::temp_dir().join(format!("pp_sweep_keyver_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        write_metrics(&path).unwrap();
+        let snap = Snapshot::read_jsonl(&path).unwrap();
+        assert_eq!(snap.value(KEY_VERSION_SERIES), Some(expected));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

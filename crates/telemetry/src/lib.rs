@@ -13,6 +13,8 @@
 //! - [`Registry`] — named handles; [`global()`] is the process-wide
 //!   instance, tests build their own for isolation.
 //! - [`Snapshot`] — JSONL export/import and a terminal summary table.
+//! - [`prom`] — Prometheus text exposition of a snapshot (served live by
+//!   `pp-serve`'s `GET /metrics`) and a strict format validator.
 //!
 //! Overhead contract: the engine's hot loops are instrumented through
 //! the existing `Observer` trait, never directly — with `NullObserver`
@@ -31,12 +33,15 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 
 pub use export::{MetricData, MetricSnapshot, Snapshot};
 pub use metrics::{
-    bucket_lo, bucket_of, Counter, Gauge, Histogram, LocalHistogram, SpanTimer, HISTOGRAM_BUCKETS,
+    bucket_hi, bucket_lo, bucket_of, quantile_from_buckets, Counter, Gauge, Histogram,
+    LocalHistogram, SpanTimer, HISTOGRAM_BUCKETS,
 };
+pub use prom::{to_prometheus, validate_exposition};
 pub use registry::{counter, gauge, global, histogram, span, Entry, Metric, Registry};
 
 #[cfg(test)]

@@ -34,6 +34,55 @@ pub fn bucket_lo(b: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of bucket `b`.
+#[inline]
+pub fn bucket_hi(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// Bucket-interpolated quantile estimate from sparse `(bucket lower
+/// bound, sample count)` pairs sorted ascending — exactly the shape the
+/// snapshot exporter emits, so quantiles computed live (from a
+/// [`Histogram`]) and offline (from `metrics.jsonl` or a `/metrics`
+/// scrape) use one estimator and cannot drift.
+///
+/// The quantile `pct_num / pct_den` (e.g. `50/100` for the median) is
+/// resolved by nearest rank, then interpolated inside the owning bucket
+/// by assuming its samples sit at the midpoints of `count` equal slices
+/// of the bucket's `[lo, hi]` range. All-integer math; returns `None`
+/// for an empty histogram or a quantile outside `[0, 1]`.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], pct_num: u64, pct_den: u64) -> Option<u64> {
+    if pct_den == 0 || pct_num > pct_den {
+        return None;
+    }
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((pct_num as u128 * total as u128).div_ceil(pct_den as u128)).max(1) as u64;
+    let mut seen = 0u64;
+    for &(lo, c) in buckets {
+        if c != 0 && rank <= seen + c {
+            // Log₂ buckets: [0,0] for zeros, else [lo, 2·lo − 1].
+            let hi = if lo == 0 {
+                0
+            } else {
+                lo.saturating_mul(2).wrapping_sub(1).max(lo)
+            };
+            let j = rank - seen; // 1-based position within this bucket
+            let offset = ((hi - lo) as u128 * (2 * j as u128 - 1)) / (2 * c as u128);
+            return Some(lo + offset as u64);
+        }
+        seen += c;
+    }
+    // Sorted non-empty buckets always contain the rank; defensive only.
+    buckets.last().map(|&(lo, _)| lo)
+}
+
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -179,6 +228,19 @@ impl Histogram {
     /// Integer mean of the samples (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Bucket-interpolated quantile `pct_num / pct_den` of the recorded
+    /// samples (see [`quantile_from_buckets`]); `None` when empty.
+    pub fn quantile(&self, pct_num: u64, pct_den: u64) -> Option<u64> {
+        let sparse: Vec<(u64, u64)> = self
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (bucket_lo(b), c))
+            .collect();
+        quantile_from_buckets(&sparse, pct_num, pct_den)
     }
 
     /// Merge a batch of locally accumulated samples (one atomic RMW per
@@ -433,5 +495,64 @@ mod tests {
         }
         assert_eq!(h.count(), 1);
         assert!(h.max() >= 1000, "slept 2ms, recorded {}µs", h.max());
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(50, 100), None); // empty
+        h.record(7);
+        assert_eq!(h.quantile(0, 100), h.quantile(100, 100)); // single sample
+        assert_eq!(h.quantile(50, 0), None); // invalid denominator
+        assert_eq!(h.quantile(101, 100), None); // > 1
+        let q = h.quantile(50, 100).unwrap();
+        assert!((4..=7).contains(&q), "7 lives in bucket [4,7], got {q}");
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bucket_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mut last = 0;
+        for pct in [1, 10, 25, 50, 75, 90, 99, 100] {
+            let q = h.quantile(pct, 100).unwrap();
+            assert!(q >= last, "p{pct} = {q} < previous {last}");
+            last = q;
+        }
+        // The true median of 1..=1000 is ~500, which lives in [512,1023]'s
+        // neighbour [256,511]; bucket resolution allows either bucket.
+        let p50 = h.quantile(50, 100).unwrap();
+        assert!((256..=1023).contains(&p50), "median estimate {p50}");
+        let p100 = h.quantile(100, 100).unwrap();
+        assert!((512..=1023).contains(&p100), "max estimate {p100}");
+    }
+
+    #[test]
+    fn quantile_from_buckets_matches_exact_ranks() {
+        // Samples: one zero, three in [2,3], four in [8,15].
+        let buckets = [(0u64, 1u64), (2, 3), (8, 4)];
+        assert_eq!(quantile_from_buckets(&buckets, 1, 8), Some(0));
+        // Rank 4 = last of the [2,3] bucket: midpoint of its 3rd slice.
+        let q = quantile_from_buckets(&buckets, 50, 100).unwrap();
+        assert!((2..=3).contains(&q));
+        // Rank 8 = last of the [8,15] bucket: near its top.
+        let q = quantile_from_buckets(&buckets, 100, 100).unwrap();
+        assert!((8..=15).contains(&q));
+    }
+
+    #[test]
+    fn bucket_hi_pairs_with_bucket_lo() {
+        assert_eq!(bucket_hi(0), 0);
+        for b in 1..64 {
+            assert_eq!(
+                bucket_hi(b),
+                bucket_lo(b + 1).wrapping_sub(1).max(bucket_lo(b))
+            );
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+        }
+        assert_eq!(bucket_hi(64), u64::MAX);
     }
 }
